@@ -1,0 +1,353 @@
+// Package resilientloc's root benchmark suite: one benchmark per paper
+// figure (regenerating the figure's data end-to-end each iteration and
+// reporting its headline metric), plus ablation benchmarks for the design
+// choices called out in DESIGN.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package resilientloc_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resilientloc/internal/acoustics"
+	"resilientloc/internal/core"
+	"resilientloc/internal/deploy"
+	"resilientloc/internal/eval"
+	"resilientloc/internal/experiments"
+	"resilientloc/internal/geom"
+	"resilientloc/internal/measure"
+	"resilientloc/internal/ranging"
+)
+
+// benchExperiment runs one figure reproduction per iteration and reports
+// the named metrics via b.ReportMetric.
+func benchExperiment(b *testing.B, id string, metrics map[string]string) {
+	b.Helper()
+	e, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not found", id)
+	}
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for name, unit := range metrics {
+		if v, ok := last.Get(name); ok {
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func BenchmarkFig02BaselineRangingUrban(b *testing.B) {
+	benchExperiment(b, "fig02", map[string]string{
+		"fraction |error| > 1 m": "large_err_frac",
+		"median |error|":         "median_abs_err_m",
+	})
+}
+
+func BenchmarkFig04MedianFiltering(b *testing.B) {
+	benchExperiment(b, "fig04", map[string]string{
+		"filtered fraction |error| > 1 m": "filtered_large_frac",
+	})
+}
+
+func BenchmarkFig06RefinedErrorHistogram(b *testing.B) {
+	benchExperiment(b, "fig06", map[string]string{
+		"fraction within ±30 cm": "core_frac",
+		"median |error|":         "median_abs_err_m",
+	})
+}
+
+func BenchmarkFig07BidirectionalFilter(b *testing.B) {
+	benchExperiment(b, "fig07", map[string]string{
+		"bidirectional fraction |error| > 1 m": "bidir_large_frac",
+	})
+}
+
+func BenchmarkFig08ErrorVsDistance(b *testing.B) {
+	benchExperiment(b, "fig08", map[string]string{
+		"large-error fraction, farthest bin": "far_large_frac",
+	})
+}
+
+func BenchmarkFig10DFTToneDetection(b *testing.B) {
+	benchExperiment(b, "fig10", map[string]string{
+		"noisy chirps detected (of 4)": "noisy_detected",
+	})
+}
+
+func BenchmarkMaxRangeSweep(b *testing.B) {
+	benchExperiment(b, "maxrange", map[string]string{
+		"grass @10m (T=2)":    "grass10",
+		"pavement @25m (T=2)": "pave25",
+	})
+}
+
+func BenchmarkFig11IntersectionConsistency(b *testing.B) {
+	benchExperiment(b, "fig11", map[string]string{
+		"error with consistency check": "checked_err_m",
+	})
+}
+
+func BenchmarkFig12MultilatParkingLot(b *testing.B) {
+	benchExperiment(b, "fig12", map[string]string{
+		"average localization error": "avg_err_m",
+	})
+}
+
+func BenchmarkFig14MultilatSparseGrid(b *testing.B) {
+	benchExperiment(b, "fig14", map[string]string{
+		"localized fraction": "localized_frac",
+		"anchors per node":   "anchors_per_node",
+	})
+}
+
+func BenchmarkFig16MultilatAugmentedGrid(b *testing.B) {
+	benchExperiment(b, "fig16", map[string]string{
+		"localized fraction":         "localized_frac",
+		"average error of localized": "avg_err_m",
+	})
+}
+
+func BenchmarkFig18LSSGridConstrained(b *testing.B) {
+	benchExperiment(b, "fig18", map[string]string{
+		"average error": "avg_err_m",
+	})
+}
+
+func BenchmarkFig19LSSGridUnconstrained(b *testing.B) {
+	benchExperiment(b, "fig19", map[string]string{
+		"average error": "avg_err_m",
+	})
+}
+
+func BenchmarkFig20MultilatTown(b *testing.B) {
+	benchExperiment(b, "fig20", map[string]string{
+		"average error of localized": "avg_err_m",
+	})
+}
+
+func BenchmarkFig21LSSTownConstrained(b *testing.B) {
+	benchExperiment(b, "fig21", map[string]string{
+		"average error": "avg_err_m",
+	})
+}
+
+func BenchmarkFig22LSSTownUnconstrained(b *testing.B) {
+	benchExperiment(b, "fig22", map[string]string{
+		"mean single-descent error, no constraint": "unconstrained_err_m",
+	})
+}
+
+func BenchmarkFig23ConvergenceCurves(b *testing.B) {
+	benchExperiment(b, "fig23", map[string]string{
+		"final mean E with constraint": "final_E",
+	})
+}
+
+func BenchmarkFig24DistributedSparse(b *testing.B) {
+	benchExperiment(b, "fig24", map[string]string{
+		"average error of aligned": "avg_err_m",
+	})
+}
+
+func BenchmarkFig25DistributedExtended(b *testing.B) {
+	benchExperiment(b, "fig25", map[string]string{
+		"average error of aligned": "avg_err_m",
+	})
+}
+
+// --- Ablation benchmarks -------------------------------------------------
+
+// BenchmarkAblationChirpLength compares the 8 ms chirp against the original
+// 64 ms chirp (§3.6: long chirps cause late-detection overestimates).
+func BenchmarkAblationChirpLength(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		chirpLen int
+	}{
+		{"8ms", 128},
+		{"64ms", 1024},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var overPer100, maxOver float64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(7))
+				cfg := ranging.DefaultConfig(acoustics.Grass())
+				cfg.Pattern.ChirpLen = tc.chirpLen
+				cfg.Units.FaultProb = 0
+				// A 20 m pair on grass sits right at the detection margin:
+				// the early part of each chirp is usually missed, which a
+				// long chirp converts into late-detection overestimates
+				// (§3.6: "a long chirp has more chances of its later part
+				// being detected when its early part is missed"; the paper
+				// reports ~3 m maximum overestimate for 8 ms chirps).
+				const d = 20.0
+				dep := &deploy.Deployment{
+					Name:      "pair",
+					Positions: []geom.Point{geom.Pt(0, 0), geom.Pt(d, 0)},
+				}
+				svc, err := ranging.NewService(cfg, dep, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				over := 0
+				maxOver = 0
+				const rounds = 100
+				for round := 0; round < rounds; round++ {
+					if m, ok := svc.MeasurePair(0, 1); ok {
+						if m-d > 1 {
+							over++
+						}
+						if m-d > maxOver {
+							maxOver = m - d
+						}
+					}
+				}
+				overPer100 = float64(over) * 100 / rounds
+			}
+			b.ReportMetric(overPer100, "over1m_per100")
+			b.ReportMetric(maxOver, "max_over_m")
+		})
+	}
+}
+
+// BenchmarkAblationFilter compares median against mode statistical
+// filtering on repeated noisy measurements with outliers (§3.5).
+func BenchmarkAblationFilter(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		kind measure.FilterKind
+	}{
+		{"median", measure.FilterMedian},
+		{"mode", measure.FilterMode},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var absErr float64
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(11))
+				raw, err := measure.NewRaw(2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				const truth = 12.0
+				for k := 0; k < 9; k++ {
+					d := truth + rng.NormFloat64()*0.15
+					if k%4 == 3 { // 25% outliers
+						d = truth + 3 + rng.Float64()*5
+					}
+					if err := raw.Add(0, 1, d); err != nil {
+						b.Fatal(err)
+					}
+				}
+				est := raw.Filter(tc.kind, 5)[[2]int{0, 1}]
+				absErr = math.Abs(est - truth)
+			}
+			b.ReportMetric(absErr, "abs_err_m")
+		})
+	}
+}
+
+// BenchmarkAblationConstraintWeight sweeps the soft-constraint weight wD on
+// the sparse grid (DESIGN.md ablation; the paper uses wD=10).
+func BenchmarkAblationConstraintWeight(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	dep := deploy.PaperGrid()
+	dep.Positions = dep.Positions[:47]
+	set, err := measure.Generate(dep, 22, 0.5, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	measure.Sparsify(set, 247, rng)
+	for _, wd := range []float64{1, 10, 100} {
+		b.Run(map[float64]string{1: "wD=1", 10: "wD=10", 100: "wD=100"}[wd], func(b *testing.B) {
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultLSSConfig(9.14)
+				cfg.WD = wd
+				cfg.SeedMDSMap = false
+				res, err := core.SolveLSS(set, cfg, rand.New(rand.NewSource(19)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := eval.Fit(res.Positions, dep.Positions)
+				if err != nil {
+					b.Fatal(err)
+				}
+				avg = a.AvgError
+			}
+			b.ReportMetric(avg, "avg_err_m")
+		})
+	}
+}
+
+// BenchmarkAblationSeeding compares random-only against MDS-MAP-seeded LSS
+// (this library's robustness improvement over the paper).
+func BenchmarkAblationSeeding(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	dep := deploy.PaperGrid()
+	set, err := measure.Generate(dep, 15, 0.33, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		seed bool
+	}{
+		{"random-only", false},
+		{"mdsmap-seeded", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultLSSConfig(9)
+				cfg.SeedMDSMap = tc.seed
+				res, err := core.SolveLSS(set, cfg, rand.New(rand.NewSource(29)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := eval.Fit(res.Positions, dep.Positions)
+				if err != nil {
+					b.Fatal(err)
+				}
+				avg = a.AvgError
+			}
+			b.ReportMetric(avg, "avg_err_m")
+		})
+	}
+}
+
+// BenchmarkLSSSolverScaling measures raw solver cost versus network size on
+// complete noisy graphs (library performance, not a paper figure).
+func BenchmarkLSSSolverScaling(b *testing.B) {
+	for _, n := range []int{16, 36, 64} {
+		b.Run(map[int]string{16: "n=16", 36: "n=36", 64: "n=64"}[n], func(b *testing.B) {
+			rng := rand.New(rand.NewSource(31))
+			side := int(math.Sqrt(float64(n)))
+			dep, err := deploy.OffsetGrid(side, side, 9, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			set, err := measure.Generate(dep, 1000, 0.33, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.DefaultLSSConfig(0)
+			cfg.Restarts = 2
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveLSS(set, cfg, rand.New(rand.NewSource(37))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

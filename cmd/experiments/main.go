@@ -1,0 +1,58 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// and prints paper-claim-versus-measured results.
+//
+// Usage:
+//
+//	experiments [-seed N] [-only fig06,fig18]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"resilientloc/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "base random seed (experiments are deterministic per seed)")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.Find(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("  (elapsed: %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	// fig11 is the cheapest experiment; the full harness is exercised by
+	// the experiments package tests and benchmarks.
+	if err := run([]string{"-only", "fig11", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "fig99"}); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("want error for unknown flag")
+	}
+}

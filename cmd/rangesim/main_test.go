@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGridCampaign(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-layout", "grid", "-nodes", "9", "-rounds", "1", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# rangesim env=grass") {
+		t.Errorf("missing header: %s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 5 {
+		t.Errorf("too few output lines: %d", len(lines))
+	}
+	// Data lines must be parseable csv with 4 fields.
+	for _, l := range lines {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		if got := len(strings.Split(l, ",")); got != 4 {
+			t.Fatalf("line %q has %d fields, want 4", l, got)
+		}
+	}
+}
+
+func TestRunWritesPositions(t *testing.T) {
+	dir := t.TempDir()
+	pos := filepath.Join(dir, "pos.csv")
+	var out strings.Builder
+	err := run([]string{"-layout", "grid", "-nodes", "4", "-rounds", "1", "-positions", pos}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 5 { // header + 4 nodes
+		t.Errorf("positions file has %d lines, want 5:\n%s", len(lines), data)
+	}
+}
+
+func TestRunLayoutsAndErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-layout", "moon"}, &out); err == nil {
+		t.Error("want error for unknown layout")
+	}
+	if err := run([]string{"-env", "vacuum"}, &out); err == nil {
+		t.Error("want error for unknown environment")
+	}
+	if err := run([]string{"-layout", "random", "-nodes", "5", "-rounds", "1", "-env", "pavement"}, &out); err != nil {
+		t.Errorf("random layout failed: %v", err)
+	}
+}
+
+func TestEnvironmentNames(t *testing.T) {
+	for _, name := range []string{"grass", "pavement", "urban", "wooded"} {
+		e, err := environment(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if e.Name != name {
+			t.Errorf("environment(%s).Name = %s", name, e.Name)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Randomtown reproduces the paper's random-deployment comparison (Figures
+// 20–22): on the 59-node town scenario, anchor-based multilateration
+// localizes only the nodes that can reach three consistent anchors, while
+// anchor-free LSS with the soft constraint localizes everyone.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"resilientloc/internal/core"
+	"resilientloc/internal/deploy"
+	"resilientloc/internal/eval"
+	"resilientloc/internal/geom"
+	"resilientloc/internal/measure"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "randomtown:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(1))
+
+	dep := deploy.Town(rng)
+	set, err := measure.Generate(dep, 22, measure.GaussianNoise, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("town: %d nodes, %d anchors, %d measured pairs within 22 m\n",
+		dep.N(), len(dep.Anchors), set.Len())
+
+	// --- Multilateration with the 18 anchors (Figure 20) ---
+	anchors := make(map[int]geom.Point, len(dep.Anchors))
+	for _, a := range dep.Anchors {
+		anchors[a] = dep.Positions[a]
+	}
+	mlCfg := core.DefaultMultilatConfig()
+	mlCfg.ConsistencyRadius = 0 // per the paper's footnote 5
+	ml, err := core.SolveMultilateration(set, anchors, mlCfg)
+	if err != nil {
+		return err
+	}
+	mlAvg, mlWorst, err := eval.AvgErrorAbsolute(ml.Positions, dep.Positions)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nmultilateration: localized %d of %d non-anchors\n",
+		len(ml.Localized), len(dep.NonAnchors()))
+	fmt.Printf("  average error %.3f m, worst %.3f m (paper: 35 localized, 0.950 m)\n", mlAvg, mlWorst)
+
+	// --- Progressive multilateration (the Section 4.1.1 extension) ---
+	mlCfg.Progressive = true
+	mlProg, err := core.SolveMultilateration(set, anchors, mlCfg)
+	if err != nil {
+		return err
+	}
+	progAvg, _, err := eval.AvgErrorAbsolute(mlProg.Positions, dep.Positions)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("progressive multilateration: localized %d, average error %.3f m\n",
+		len(mlProg.Localized), progAvg)
+
+	// --- Anchor-free LSS with the soft constraint (Figure 21) ---
+	lss, err := core.SolveLSS(set, core.DefaultLSSConfig(9), rng)
+	if err != nil {
+		return err
+	}
+	a, err := eval.Fit(lss.Positions, dep.Positions)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nLSS (no anchors, dmin=9 m): all %d nodes localized\n", dep.N())
+	fmt.Printf("  average error %.3f m, worst %.3f m (paper: 0.548 m)\n", a.AvgError, a.MaxError)
+
+	// --- Classical MDS baseline: it cannot run at all on this input ---
+	if _, err := core.SolveClassicalMDS(set); err != nil {
+		fmt.Printf("\nclassical MDS: %v\n", err)
+		fmt.Println("  (the paper's motivation for LSS: classical MDS needs every pairwise distance)")
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package acoustics
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// UnitOffsets captures unit-to-unit hardware variation of one mote (paper
+// §3.4 source 3 and §3.6.2: microphones rated ±3 dB, loudspeakers observed
+// varying up to 5 dB; "some speaker-microphone pairs have ranges that are
+// consistently much shorter or much longer than the typical values").
+type UnitOffsets struct {
+	SpeakerDB float64 // output-power offset of this node's speaker, dB
+	MicDB     float64 // sensitivity offset of this node's microphone, dB
+	Faulty    bool    // extreme case: faulty hardware producing garbage
+}
+
+// UnitVariationModel draws per-node hardware offsets.
+type UnitVariationModel struct {
+	SpeakerStdDB float64 // σ of speaker output power, dB (paper: up to 5 dB observed)
+	MicStdDB     float64 // σ of microphone sensitivity, dB (rated ±3 dB)
+	FaultProb    float64 // probability a node's acoustic hardware is faulty
+}
+
+// DefaultUnitVariation returns the paper-motivated variation model.
+func DefaultUnitVariation() UnitVariationModel {
+	return UnitVariationModel{SpeakerStdDB: 2.0, MicStdDB: 1.2, FaultProb: 0.02}
+}
+
+// Validate checks the model parameters.
+func (m UnitVariationModel) Validate() error {
+	if m.SpeakerStdDB < 0 || m.MicStdDB < 0 {
+		return errors.New("acoustics: negative unit-variation std")
+	}
+	if m.FaultProb < 0 || m.FaultProb > 1 {
+		return errors.New("acoustics: FaultProb out of [0,1]")
+	}
+	return nil
+}
+
+// Draw samples one node's hardware offsets.
+func (m UnitVariationModel) Draw(rng *rand.Rand) UnitOffsets {
+	return UnitOffsets{
+		SpeakerDB: rng.NormFloat64() * m.SpeakerStdDB,
+		MicDB:     rng.NormFloat64() * m.MicStdDB,
+		Faulty:    rng.Float64() < m.FaultProb,
+	}
+}
+
+// Echo is one resolvable multi-path arrival.
+type Echo struct {
+	ExtraPath float64 // extra path length relative to the direct path, meters
+	PDetect   float64 // per-sample detection probability while the echo sounds
+}
+
+// Reception is the channel's plan for how one chirp transmission sounds at a
+// receiver: per-sample probabilities the ranging simulator turns into the
+// binary tone-detector time series.
+type Reception struct {
+	// PDetect is the per-sample detection probability while the direct
+	// signal is present. Zero when the direct path is blocked.
+	PDetect float64
+	// PFalse is the per-sample false-positive probability at all other
+	// times.
+	PFalse float64
+	// Echoes lists resolvable multi-path arrivals (possibly empty).
+	Echoes []Echo
+	// DirectBlocked reports that the receiver hears only echoes.
+	DirectBlocked bool
+}
+
+// Channel couples an Environment with the unit offsets of a specific
+// speaker/microphone pair.
+type Channel struct {
+	Env Environment
+}
+
+// Plan computes the Reception for one chirp over distance d between a
+// source with offsets src and a destination with offsets dst. rng drives
+// the echo and blockage draws; it must not be nil.
+func (c Channel) Plan(d float64, src, dst UnitOffsets, rng *rand.Rand) Reception {
+	snr := c.Env.SNR(d, src.SpeakerDB, dst.MicDB)
+	r := Reception{
+		PDetect: c.Env.PDetect(snr),
+		PFalse:  c.Env.PFalse,
+	}
+	if src.Faulty || dst.Faulty {
+		// Faulty hardware: the speaker barely sounds or the microphone is
+		// deaf, while a noisy detector fires spuriously more often (§3.4:
+		// "In extreme cases, faulty hardware may result in very large
+		// errors").
+		r.PDetect = c.Env.PFalse
+		r.PFalse = c.Env.PFalse * 4
+	}
+	if rng.Float64() < c.Env.DirectBlockedProb {
+		r.DirectBlocked = true
+		r.PDetect = 0
+	}
+	if rng.Float64() < c.Env.EchoProb || r.DirectBlocked {
+		extra := rng.ExpFloat64()*c.Env.EchoExtraPathMean + 1 // ≥1 m of extra path
+		echoSNR := c.Env.SNR(d+extra, src.SpeakerDB, dst.MicDB) - c.Env.EchoLevelLossDB
+		r.Echoes = append(r.Echoes, Echo{
+			ExtraPath: extra,
+			PDetect:   c.Env.PDetect(echoSNR),
+		})
+	}
+	return r
+}

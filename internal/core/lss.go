@@ -1,0 +1,484 @@
+// Package core implements the paper's localization algorithms: centralized
+// least squares scaling (LSS) with a minimum node-spacing soft constraint
+// (Section 4.2 — the paper's primary contribution), multilateration with the
+// intersection consistency check (Section 4.1), a classical-MDS baseline
+// (Section 2/4.2.1), and the distributed LSS variant (Section 4.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resilientloc/internal/geom"
+	"resilientloc/internal/measure"
+)
+
+// StepMode selects the gradient-descent stepping rule.
+type StepMode int
+
+const (
+	// StepAdaptive backtracks when a step would increase the objective and
+	// grows the step on success — this library's default, far more robust
+	// than a hand-tuned constant.
+	StepAdaptive StepMode = iota + 1
+	// StepFixed is the paper's literal Eq. (1): x ← x − α·∇E with constant
+	// α. Convergence then depends heavily on the soft constraint shaping
+	// the landscape, which is exactly the Figure 23 comparison; a small
+	// stabilizer halves α only if the objective diverges to non-finite
+	// values.
+	StepFixed
+)
+
+// LSSConfig parameterizes the centralized LSS solver.
+type LSSConfig struct {
+	// DMin is the minimum node spacing for the soft constraint, meters.
+	// Zero disables the constraint (the Figure 19/22 ablation).
+	DMin float64
+	// WD is the soft-constraint weight (paper Section 4.2.2: wD = 10 with
+	// wij = 1).
+	WD float64
+	// Mode selects the stepping rule; the zero value means StepAdaptive.
+	Mode StepMode
+	// Step is the gradient-descent step size α of Eq. (1): the initial step
+	// in adaptive mode, the constant step in fixed mode.
+	Step float64
+	// MaxIters bounds the gradient iterations per descent run.
+	MaxIters int
+	// Restarts is the number of restart rounds after the initial descent.
+	// Odd rounds restart from the best configuration so far perturbed by
+	// Gaussian noise — the paper's local-minimum escape strategy ("the
+	// gradient descent starts each round of minimization with seed
+	// positions obtained by perturbing the best results so far") — while
+	// even rounds use a fresh random configuration, which escapes deep
+	// reflection folds that small perturbations cannot.
+	Restarts int
+	// PerturbStd is the standard deviation of the restart perturbation,
+	// meters. Zero scales it automatically to the measured-distance scale.
+	PerturbStd float64
+	// Tol ends a descent run once the relative per-iteration improvement
+	// stays below it for a sustained stretch (a plateau), rather than on
+	// the first small step.
+	Tol float64
+	// InitSpread is the half-width of the uniform random initial
+	// configuration, meters. Zero derives it from the measured distances.
+	InitSpread float64
+	// SeedMDSMap, when true, additionally tries an MDS-MAP configuration
+	// (shortest-path-completed classical MDS) as one descent start and
+	// keeps whichever start reaches the lowest objective. This is this
+	// library's robustness improvement over the paper's random-only
+	// seeding; disable it for paper-faithful ablations (Figures 19/22/23).
+	SeedMDSMap bool
+	// Anchors optionally pins node positions during minimization: anchored
+	// nodes keep their given coordinates exactly, and the solution comes
+	// out in the anchors' absolute frame instead of an arbitrary relative
+	// one. This extends the paper's anchor-free LSS with the hybrid
+	// anchor usage its Section 2 surveys; leave nil for the paper-faithful
+	// anchor-free behaviour.
+	Anchors map[int]geom.Point
+}
+
+// DefaultLSSConfig returns the solver configuration used throughout the
+// experiments: the paper's weights (wij=1, wD=10), dmin from the deployment.
+func DefaultLSSConfig(dmin float64) LSSConfig {
+	return LSSConfig{
+		DMin:       dmin,
+		WD:         10,
+		Step:       0.02,
+		MaxIters:   4000,
+		Restarts:   14,
+		PerturbStd: 0, // auto-scale to the measurement scale
+		Tol:        1e-10,
+		SeedMDSMap: true,
+	}
+}
+
+// Validate checks the configuration.
+func (c LSSConfig) Validate() error {
+	switch {
+	case c.DMin < 0:
+		return errors.New("core: negative DMin")
+	case c.DMin > 0 && c.WD <= 0:
+		return errors.New("core: soft constraint enabled with non-positive WD")
+	case c.Mode != 0 && c.Mode != StepAdaptive && c.Mode != StepFixed:
+		return errors.New("core: invalid StepMode")
+	case c.Step <= 0:
+		return errors.New("core: non-positive Step")
+	case c.MaxIters <= 0:
+		return errors.New("core: non-positive MaxIters")
+	case c.Restarts < 0:
+		return errors.New("core: negative Restarts")
+	case c.PerturbStd < 0:
+		return errors.New("core: negative PerturbStd")
+	case c.Tol < 0:
+		return errors.New("core: negative Tol")
+	}
+	return nil
+}
+
+// LSSResult is the output of the centralized LSS solver. Coordinates are in
+// an arbitrary rigid frame (translation/rotation/reflection are not
+// observable from distances alone); align to ground truth with eval.Fit.
+type LSSResult struct {
+	Positions []geom.Point
+	// Error is the final value of the full objective E (Ew + soft terms).
+	Error float64
+	// UnconstrainedError is the final Ew alone (comparable across
+	// with/without-constraint runs, cf. Figure 23's caption discussion).
+	UnconstrainedError float64
+	// Iterations is the total number of gradient steps across restarts.
+	Iterations int
+	// History records the objective at each gradient step of the best
+	// descent trajectory (Figure 23's error-vs-epoch curves).
+	History []float64
+}
+
+// SolveLSS runs centralized least squares scaling over a measurement set:
+// minimize
+//
+//	E = Σ_{dij∈D} wij (‖pi−pj‖ − dij)²
+//	  + Σ_{dij∉D} wD (min(‖pi−pj‖, dmin) − dmin)²
+//
+// by gradient descent with perturbation restarts. The rng seeds the initial
+// configuration and restart perturbations.
+func SolveLSS(set *measure.Set, cfg LSSConfig, rng *rand.Rand) (*LSSResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: SolveLSS: %w", err)
+	}
+	if rng == nil {
+		return nil, errors.New("core: SolveLSS: nil rng")
+	}
+	n := set.N()
+	if n < 3 {
+		return nil, fmt.Errorf("core: SolveLSS: need at least 3 nodes, have %d", n)
+	}
+	if set.Len() == 0 {
+		return nil, errors.New("core: SolveLSS: empty measurement set")
+	}
+	for a := range cfg.Anchors {
+		if a < 0 || a >= n {
+			return nil, fmt.Errorf("core: SolveLSS: anchor %d out of range (n=%d)", a, n)
+		}
+	}
+
+	prob := newLSSProblem(set, cfg)
+
+	spread := cfg.InitSpread
+	if spread <= 0 {
+		spread = prob.distanceScale() * math.Sqrt(float64(n))
+	}
+	perturb := cfg.PerturbStd
+	if perturb <= 0 {
+		perturb = 0.3 * prob.distanceScale()
+	}
+	pinAnchors := func(dst []geom.Point) {
+		for a, p := range cfg.Anchors {
+			dst[a] = p
+		}
+	}
+	randomConfig := func(dst []geom.Point) {
+		for i := range dst {
+			dst[i] = geom.Pt(rng.Float64()*spread, rng.Float64()*spread)
+		}
+		pinAnchors(dst)
+	}
+
+	cur := make([]geom.Point, n)
+	randomConfig(cur)
+
+	best := append([]geom.Point(nil), cur...)
+	bestErr := prob.objective(best)
+	var bestHistory []float64
+	totalIters := 0
+
+	if cfg.SeedMDSMap && set.Connected() {
+		if seed, err := SolveMDSMap(set); err == nil {
+			if len(cfg.Anchors) >= 2 {
+				// Register the relative MDS map onto the anchor frame so
+				// pinning doesn't tear the configuration apart.
+				var src, dst []geom.Point
+				for a, p := range cfg.Anchors {
+					src = append(src, seed[a])
+					dst = append(dst, p)
+				}
+				if tr, _, err := geom.FitRigid(src, dst); err == nil {
+					seed = tr.ApplyAll(seed)
+				}
+			}
+			pinAnchors(seed)
+			final, history, iters := prob.descend(seed, cfg)
+			totalIters += iters
+			if e := prob.objective(final); e < bestErr {
+				bestErr = e
+				copy(best, final)
+				bestHistory = history
+			}
+		}
+	}
+
+	for round := 0; round <= cfg.Restarts; round++ {
+		switch {
+		case round == 0:
+			// descend from the initial random configuration
+		case round%2 == 1:
+			// Perturb the best configuration so far (the paper's rule).
+			for i := range cur {
+				cur[i] = geom.Pt(
+					best[i].X+rng.NormFloat64()*perturb,
+					best[i].Y+rng.NormFloat64()*perturb,
+				)
+			}
+			pinAnchors(cur)
+		default:
+			// Fresh random configuration: escapes reflection folds.
+			randomConfig(cur)
+		}
+		final, history, iters := prob.descend(cur, cfg)
+		totalIters += iters
+		if e := prob.objective(final); e < bestErr {
+			bestErr = e
+			copy(best, final)
+			bestHistory = history
+		}
+	}
+
+	return &LSSResult{
+		Positions:          best,
+		Error:              bestErr,
+		UnconstrainedError: prob.weightedStress(best),
+		Iterations:         totalIters,
+		History:            bestHistory,
+	}, nil
+}
+
+// lssProblem holds the preprocessed measurement data for fast gradient
+// evaluation.
+type lssProblem struct {
+	n     int
+	pairs []measure.Measurement
+	// measured[i*n+j] marks pairs with a distance measurement; the soft
+	// constraint applies only to unmeasured pairs.
+	measured []bool
+	// fixed marks anchored nodes whose coordinates never move.
+	fixed []bool
+	dmin  float64
+	wd    float64
+}
+
+func newLSSProblem(set *measure.Set, cfg LSSConfig) *lssProblem {
+	n := set.N()
+	p := &lssProblem{
+		n:        n,
+		pairs:    set.All(),
+		measured: make([]bool, n*n),
+		fixed:    make([]bool, n),
+		dmin:     cfg.DMin,
+		wd:       cfg.WD,
+	}
+	for _, m := range p.pairs {
+		p.measured[m.Pair.Lo*n+m.Pair.Hi] = true
+		p.measured[m.Pair.Hi*n+m.Pair.Lo] = true
+	}
+	for a := range cfg.Anchors {
+		if a >= 0 && a < n {
+			p.fixed[a] = true
+		}
+	}
+	return p
+}
+
+// distanceScale returns the mean measured distance, used to size the random
+// initial configuration.
+func (p *lssProblem) distanceScale() float64 {
+	if len(p.pairs) == 0 {
+		return 1
+	}
+	var s float64
+	for _, m := range p.pairs {
+		s += m.Distance
+	}
+	return s / float64(len(p.pairs))
+}
+
+// minSeparation guards divisions by near-zero computed distances.
+const minSeparation = 1e-9
+
+// weightedStress computes Ew = Σ wij (‖pi−pj‖ − dij)².
+func (p *lssProblem) weightedStress(pos []geom.Point) float64 {
+	var e float64
+	for _, m := range p.pairs {
+		d := pos[m.Pair.Lo].Dist(pos[m.Pair.Hi])
+		r := d - m.Distance
+		e += m.Weight * r * r
+	}
+	return e
+}
+
+// objective computes the full E including soft-constraint terms.
+func (p *lssProblem) objective(pos []geom.Point) float64 {
+	e := p.weightedStress(pos)
+	if p.dmin <= 0 {
+		return e
+	}
+	for i := 0; i < p.n; i++ {
+		for j := i + 1; j < p.n; j++ {
+			if p.measured[i*p.n+j] {
+				continue
+			}
+			d := pos[i].Dist(pos[j])
+			if d < p.dmin {
+				r := d - p.dmin
+				e += p.wd * r * r
+			}
+		}
+	}
+	return e
+}
+
+// gradient writes ∇E into grad (len 2n: x components then y components).
+func (p *lssProblem) gradient(pos []geom.Point, grad []float64) {
+	for i := range grad {
+		grad[i] = 0
+	}
+	n := p.n
+	for _, m := range p.pairs {
+		i, j := m.Pair.Lo, m.Pair.Hi
+		dx := pos[i].X - pos[j].X
+		dy := pos[i].Y - pos[j].Y
+		d := math.Hypot(dx, dy)
+		if d < minSeparation {
+			continue // coincident points: zero gradient direction, skip
+		}
+		g := 2 * m.Weight * (d - m.Distance) / d
+		grad[i] += g * dx
+		grad[j] -= g * dx
+		grad[n+i] += g * dy
+		grad[n+j] -= g * dy
+	}
+	if p.dmin <= 0 {
+		p.zeroFixed(grad)
+		return
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if p.measured[i*n+j] {
+				continue
+			}
+			dx := pos[i].X - pos[j].X
+			dy := pos[i].Y - pos[j].Y
+			d := math.Hypot(dx, dy)
+			if d >= p.dmin || d < minSeparation {
+				continue
+			}
+			g := 2 * p.wd * (d - p.dmin) / d
+			grad[i] += g * dx
+			grad[j] -= g * dx
+			grad[n+i] += g * dy
+			grad[n+j] -= g * dy
+		}
+	}
+	p.zeroFixed(grad)
+}
+
+// zeroFixed clears gradient components of anchored nodes so descent never
+// moves them.
+func (p *lssProblem) zeroFixed(grad []float64) {
+	for i, fixed := range p.fixed {
+		if fixed {
+			grad[i] = 0
+			grad[p.n+i] = 0
+		}
+	}
+}
+
+// descend runs one gradient-descent trajectory from start and returns the
+// final configuration, the per-iteration objective history, and the number
+// of iterations performed. In adaptive mode the step halves when it would
+// increase the objective (retrying the step) and grows on success; in fixed
+// mode the paper's constant-α rule applies verbatim.
+func (p *lssProblem) descend(start []geom.Point, cfg LSSConfig) ([]geom.Point, []float64, int) {
+	if cfg.Mode == StepFixed {
+		return p.descendFixed(start, cfg)
+	}
+	n := p.n
+	cur := append([]geom.Point(nil), start...)
+	next := make([]geom.Point, n)
+	grad := make([]float64, 2*n)
+	history := make([]float64, 0, cfg.MaxIters)
+
+	e := p.objective(cur)
+	step := cfg.Step
+	plateau := 0
+	iters := 0
+	for it := 0; it < cfg.MaxIters; it++ {
+		iters++
+		history = append(history, e)
+		p.gradient(cur, grad)
+
+		improved := false
+		for attempt := 0; attempt < 40; attempt++ {
+			for i := 0; i < n; i++ {
+				next[i] = geom.Pt(cur[i].X-step*grad[i], cur[i].Y-step*grad[n+i])
+			}
+			ne := p.objective(next)
+			if ne < e {
+				improved = true
+				relDrop := (e - ne) / (math.Abs(e) + 1e-30)
+				cur, next = next, cur
+				e = ne
+				step *= 1.5
+				if relDrop < cfg.Tol {
+					plateau++
+				} else {
+					plateau = 0
+				}
+				break
+			}
+			step /= 2
+			if step < 1e-16 {
+				break
+			}
+		}
+		if !improved || plateau >= 25 {
+			break // converged or stuck on a plateau at every step size
+		}
+	}
+	return cur, append(history, e), iters
+}
+
+// descendFixed is the paper's Eq. (1) verbatim: constant-step gradient
+// descent. The only concession to float safety is halving the step when the
+// objective stops being finite (a divergence the paper's hand-tuned α
+// avoided by construction).
+func (p *lssProblem) descendFixed(start []geom.Point, cfg LSSConfig) ([]geom.Point, []float64, int) {
+	n := p.n
+	cur := append([]geom.Point(nil), start...)
+	grad := make([]float64, 2*n)
+	history := make([]float64, 0, cfg.MaxIters)
+
+	step := cfg.Step
+	e := p.objective(cur)
+	iters := 0
+	for it := 0; it < cfg.MaxIters; it++ {
+		iters++
+		history = append(history, e)
+		p.gradient(cur, grad)
+		for i := 0; i < n; i++ {
+			cur[i] = geom.Pt(cur[i].X-step*grad[i], cur[i].Y-step*grad[n+i])
+		}
+		e = p.objective(cur)
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			// Diverged: rewind the step and continue more cautiously.
+			for i := 0; i < n; i++ {
+				cur[i] = geom.Pt(cur[i].X+step*grad[i], cur[i].Y+step*grad[n+i])
+			}
+			step /= 2
+			e = p.objective(cur)
+			if step < 1e-15 {
+				break
+			}
+		}
+	}
+	return cur, append(history, e), iters
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resilientloc/internal/deploy"
+	"resilientloc/internal/geom"
+	"resilientloc/internal/measure"
+)
+
+// TestTransformErrorGrowsWithHopCount verifies the Figure 24 mechanism
+// quantitatively: in a long chain of local frames with slightly noisy
+// pairwise transforms, the alignment error of a node grows with its hop
+// distance from the root ("large localization errors which were amplified
+// and propagated").
+func TestTransformErrorGrowsWithHopCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	// A long, narrow strip: 2×12 grid so the flood forms long chains.
+	dep, err := deploy.OffsetGrid(2, 12, 9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noisy short-range measurements keep local maps imperfect.
+	set, err := measure.Generate(dep, 15, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDistributedConfig(0, 9) // root at the west end
+	cfg.Local.SeedMDSMap = false
+	res, err := SolveDistributed(set, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Localized) < dep.N()/2 {
+		t.Skipf("only %d nodes aligned; chain too broken for the gradient test", len(res.Localized))
+	}
+	// The distributed output is in the root's local frame, which is itself
+	// an arbitrary rigid frame. Register the root's neighborhood (the first
+	// few columns) onto truth, then measure how the residual grows with
+	// column index.
+	var nearIdx []int
+	for _, i := range res.Localized {
+		if dep.Positions[i].X <= 30 {
+			nearIdx = append(nearIdx, i)
+		}
+	}
+	if len(nearIdx) < 3 {
+		t.Skip("not enough near-root nodes aligned")
+	}
+	var src, dst []geom.Point
+	for _, i := range nearIdx {
+		src = append(src, res.Positions[i])
+		dst = append(dst, dep.Positions[i])
+	}
+	tr, _, err := geom.FitRigid(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean error near the root (x ≤ 30) vs far from it (x ≥ 80).
+	var nearErr, farErr float64
+	var nearN, farN int
+	for _, i := range res.Localized {
+		e := tr.Apply(res.Positions[i]).Dist(dep.Positions[i])
+		switch {
+		case dep.Positions[i].X <= 30:
+			nearErr += e
+			nearN++
+		case dep.Positions[i].X >= 80:
+			farErr += e
+			farN++
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Skip("insufficient coverage at both ends")
+	}
+	nearErr /= float64(nearN)
+	farErr /= float64(farN)
+	if farErr < nearErr {
+		t.Errorf("alignment error should grow along the chain: near %.3f m vs far %.3f m", nearErr, farErr)
+	}
+}
+
+// TestDistributedMatchesCentralizedOnDenseData: with rich measurements the
+// distributed result approaches the centralized one (the paper's goal state
+// for future work, demonstrated by Figure 25).
+func TestDistributedMatchesCentralizedOnDenseData(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	dep, err := deploy.OffsetGrid(4, 4, 9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := measure.Generate(dep, 25, 0.33, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, err := SolveLSS(set, DefaultLSSConfig(9), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := SolveDistributed(set, DefaultDistributedConfig(5, 9), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Localized) != dep.N() {
+		t.Fatalf("distributed aligned %d of %d on dense data", len(dist.Localized), dep.N())
+	}
+	// Compare internal consistency: per-pair distance residuals of both
+	// solutions against the measurements.
+	stress := func(pos func(i int) geom.Point) float64 {
+		var s float64
+		for _, m := range set.All() {
+			r := pos(m.Pair.Lo).Dist(pos(m.Pair.Hi)) - m.Distance
+			s += r * r
+		}
+		return math.Sqrt(s / float64(set.Len()))
+	}
+	centStress := stress(func(i int) geom.Point { return cent.Positions[i] })
+	distStress := stress(func(i int) geom.Point { return dist.Positions[i] })
+	if distStress > 3*centStress+0.5 {
+		t.Errorf("distributed RMS stress %.3f m far above centralized %.3f m on dense data", distStress, centStress)
+	}
+}

@@ -1,0 +1,121 @@
+// Package experiments regenerates every figure of the paper's evaluation:
+// the ranging figures of Section 3 (Figures 2–10 and the §3.6.2 maximum-
+// range analysis) and the localization figures of Section 4 (Figures 11–25).
+// Each experiment is a deterministic function of its seed and returns a
+// Result that records the paper's claim next to the measured reproduction,
+// so cmd/experiments and EXPERIMENTS.md can print paper-vs-measured tables.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metric is one named measured quantity.
+type Metric struct {
+	Name  string
+	Value float64
+	Unit  string
+}
+
+// SeriesPoint is one (x, y) sample of a figure's data series.
+type SeriesPoint struct {
+	X, Y float64
+}
+
+// Series is a named data series (one curve of a figure).
+type Series struct {
+	Name   string
+	Points []SeriesPoint
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID         string // e.g. "fig06"
+	Title      string
+	PaperClaim string // what the paper reports, with its numbers
+	Metrics    []Metric
+	Series     []Series
+	Notes      string
+}
+
+// Add appends a metric.
+func (r *Result) Add(name string, value float64, unit string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit})
+}
+
+// Get returns the named metric's value and whether it exists.
+func (r *Result) Get(name string) (float64, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Render formats the result as an indented text block for the harness.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "  paper: %s\n", r.PaperClaim)
+	for _, m := range r.Metrics {
+		if m.Unit != "" {
+			fmt.Fprintf(&b, "  %-42s %10.3f %s\n", m.Name, m.Value, m.Unit)
+		} else {
+			fmt.Fprintf(&b, "  %-42s %10.3f\n", m.Name, m.Value)
+		}
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "  series %s:", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, " (%.3g, %.4g)", p.X, p.Y)
+		}
+		b.WriteString("\n")
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "  note: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// Experiment is a named, seedable reproduction of one paper figure.
+type Experiment struct {
+	ID  string
+	Run func(seed int64) (*Result, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig02", Run: Fig02BaselineRangingUrban},
+		{ID: "fig04", Run: Fig04MedianFiltering},
+		{ID: "fig06", Run: Fig06RefinedErrorHistogram},
+		{ID: "fig07", Run: Fig07BidirectionalFilter},
+		{ID: "fig08", Run: Fig08ErrorVsDistance},
+		{ID: "fig10", Run: Fig10DFTToneDetection},
+		{ID: "maxrange", Run: MaxRangeSweep},
+		{ID: "fig11", Run: Fig11IntersectionConsistency},
+		{ID: "fig12", Run: Fig12MultilatParkingLot},
+		{ID: "fig14", Run: Fig14MultilatSparseGrid},
+		{ID: "fig16", Run: Fig16MultilatAugmentedGrid},
+		{ID: "fig18", Run: Fig18LSSGridConstrained},
+		{ID: "fig19", Run: Fig19LSSGridUnconstrained},
+		{ID: "fig20", Run: Fig20MultilatTown},
+		{ID: "fig21", Run: Fig21LSSTownConstrained},
+		{ID: "fig22", Run: Fig22LSSTownUnconstrained},
+		{ID: "fig23", Run: Fig23ConvergenceCurves},
+		{ID: "fig24", Run: Fig24DistributedSparse},
+		{ID: "fig25", Run: Fig25DistributedExtended},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,114 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix a
+// using the cyclic Jacobi method. It returns the eigenvalues in descending
+// order and the matching eigenvectors as the columns of the returned matrix.
+// The input is not modified.
+//
+// Classical MDS needs the top eigenpairs of the double-centered squared
+// distance matrix; for the network sizes in the paper (≤ 60 nodes) Jacobi is
+// comfortably fast and numerically robust.
+func EigenSym(a *Dense) (vals []float64, vecs *Dense, err error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, nil, errors.New("mat: EigenSym: matrix not square")
+	}
+	if !a.IsSymmetric(1e-9 * (1 + a.MaxAbsOffDiag())) {
+		return nil, nil, errors.New("mat: EigenSym: matrix not symmetric")
+	}
+
+	w := a.Clone()
+	v := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := w.MaxAbsOffDiag()
+		if off < 1e-13*(1+diagNorm(w)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Compute the Jacobi rotation that zeroes w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				cth := 1 / math.Sqrt(1+t*t)
+				sth := t * cth
+				applyJacobi(w, v, p, q, cth, sth)
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+
+	sortedVals := make([]float64, n)
+	sortedVecs := NewDense(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+func diagNorm(m *Dense) float64 {
+	n, _ := m.Dims()
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Abs(m.At(i, i))
+	}
+	return s
+}
+
+// applyJacobi applies the rotation G(p, q, θ) on both sides of w and
+// accumulates it into the eigenvector matrix v.
+func applyJacobi(w, v *Dense, p, q int, c, s float64) {
+	n, _ := w.Dims()
+	for k := 0; k < n; k++ {
+		wkp := w.At(k, p)
+		wkq := w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk := w.At(p, k)
+		wqk := w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}

@@ -1,0 +1,100 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky factors a symmetric positive-definite matrix a as L·Lᵀ and
+// returns the lower-triangular factor L. It returns ErrSingular when a is
+// not positive definite within floating-point tolerance.
+func Cholesky(a *Dense) (*Dense, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("%w: Cholesky of %dx%d", ErrShape, n, c)
+	}
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, fmt.Errorf("%w: pivot %d = %g", ErrSingular, i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves a·x = b for symmetric positive-definite a using the
+// Cholesky factorization.
+func SolveCholesky(a *Dense, b []float64) ([]float64, error) {
+	n, _ := a.Dims()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: solve %dx%d with rhs %d", ErrShape, n, n, len(b))
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖a·x - b‖₂ via the normal equations aᵀa·x = aᵀb
+// with a small ridge term for conditioning. a must have at least as many
+// rows as columns. For the tiny systems in this repository (2–3 unknowns)
+// the normal equations are perfectly adequate.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	r, c := a.Dims()
+	if len(b) != r {
+		return nil, fmt.Errorf("%w: lstsq %dx%d with rhs %d", ErrShape, r, c, len(b))
+	}
+	if r < c {
+		return nil, fmt.Errorf("%w: underdetermined system %dx%d", ErrShape, r, c)
+	}
+	at := a.T()
+	ata, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	// Ridge scaled to the matrix magnitude keeps Cholesky stable when a is
+	// nearly rank-deficient (e.g. collinear anchors).
+	var trace float64
+	for i := 0; i < c; i++ {
+		trace += ata.At(i, i)
+	}
+	ridge := 1e-12 * (1 + trace/float64(c))
+	for i := 0; i < c; i++ {
+		ata.Set(i, i, ata.At(i, i)+ridge)
+	}
+	atb, err := at.MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(ata, atb)
+}

@@ -1,0 +1,91 @@
+// Package radio models the radio-channel behaviour that matters for TDoA
+// acoustic ranging and for the distributed-localization message exchange:
+// the non-deterministic transmit/receive delay δxmit (paper Section 3.1,
+// "Non-deterministic Hardware Delays") and a loss-prone broadcast primitive
+// used by the in-memory network simulator.
+package radio
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// DelayModel describes δxmit: the combined sender-plus-receiver hardware
+// delay between the radio send command and first-bit reception. MAC-layer
+// timestamping removes most of it; a calibrated constant plus residual
+// jitter remains.
+type DelayModel struct {
+	// Base is the deterministic component, seconds. It is folded into the
+	// δconst calibration constant by the ranging service.
+	Base float64
+	// JitterStd is the standard deviation of the residual nondeterministic
+	// delay, seconds.
+	JitterStd float64
+}
+
+// DefaultDelayModel returns a MICA2-like δxmit model: ~1.5 ms base delay
+// with ~10 µs residual jitter after MAC-layer timestamping.
+func DefaultDelayModel() DelayModel {
+	return DelayModel{Base: 1.5e-3, JitterStd: 10e-6}
+}
+
+// Validate checks the model parameters.
+func (m DelayModel) Validate() error {
+	if m.Base < 0 || m.JitterStd < 0 {
+		return errors.New("radio: negative DelayModel parameter")
+	}
+	return nil
+}
+
+// Sample draws one realization of δxmit in seconds. rng may be nil when
+// JitterStd is zero.
+func (m DelayModel) Sample(rng *rand.Rand) float64 {
+	d := m.Base
+	if m.JitterStd > 0 {
+		d += rng.NormFloat64() * m.JitterStd
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// LinkModel describes message delivery between two nodes for the network
+// simulator: delivery probability as a function of nothing fancier than a
+// flat loss rate (the localization protocol exchanges only a handful of
+// small messages, so a flat model suffices).
+type LinkModel struct {
+	// LossRate is the probability an individual message is dropped.
+	LossRate float64
+	// Retries is how many times the sender retransmits on loss; the
+	// effective delivery probability is 1-LossRate^(Retries+1).
+	Retries int
+}
+
+// Validate checks the model parameters.
+func (m LinkModel) Validate() error {
+	if m.LossRate < 0 || m.LossRate > 1 {
+		return errors.New("radio: LossRate out of [0,1]")
+	}
+	if m.Retries < 0 {
+		return errors.New("radio: negative Retries")
+	}
+	return nil
+}
+
+// Delivered reports whether a message survives the link, accounting for
+// retries. rng may be nil when LossRate is zero.
+func (m LinkModel) Delivered(rng *rand.Rand) bool {
+	if m.LossRate <= 0 {
+		return true
+	}
+	if m.LossRate >= 1 {
+		return false
+	}
+	for attempt := 0; attempt <= m.Retries; attempt++ {
+		if rng.Float64() >= m.LossRate {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDelayModelValidate(t *testing.T) {
+	if err := DefaultDelayModel().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+	if err := (DelayModel{Base: -1}).Validate(); err == nil {
+		t.Error("want error for negative base")
+	}
+	if err := (DelayModel{JitterStd: -1}).Validate(); err == nil {
+		t.Error("want error for negative jitter")
+	}
+}
+
+func TestDelaySampleDeterministic(t *testing.T) {
+	m := DelayModel{Base: 2e-3}
+	if got := m.Sample(nil); got != 2e-3 {
+		t.Errorf("Sample = %v, want 2e-3", got)
+	}
+}
+
+func TestDelaySampleNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := DelayModel{Base: 1e-6, JitterStd: 1e-3} // jitter dominates base
+	for i := 0; i < 10000; i++ {
+		if d := m.Sample(rng); d < 0 {
+			t.Fatalf("negative delay %v", d)
+		}
+	}
+}
+
+func TestDelaySampleStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := DefaultDelayModel()
+	var sum float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		sum += m.Sample(rng)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-m.Base) > 1e-6 {
+		t.Errorf("mean = %v, want ≈%v", mean, m.Base)
+	}
+}
+
+func TestLinkModelValidate(t *testing.T) {
+	if err := (LinkModel{LossRate: 0.5, Retries: 2}).Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	if err := (LinkModel{LossRate: 1.5}).Validate(); err == nil {
+		t.Error("want error for loss > 1")
+	}
+	if err := (LinkModel{LossRate: -0.1}).Validate(); err == nil {
+		t.Error("want error for negative loss")
+	}
+	if err := (LinkModel{Retries: -1}).Validate(); err == nil {
+		t.Error("want error for negative retries")
+	}
+}
+
+func TestLinkDeliveredEdgeCases(t *testing.T) {
+	if !(LinkModel{LossRate: 0}).Delivered(nil) {
+		t.Error("lossless link dropped a message")
+	}
+	rng := rand.New(rand.NewSource(7))
+	if (LinkModel{LossRate: 1}).Delivered(rng) {
+		t.Error("total-loss link delivered a message")
+	}
+}
+
+func TestLinkDeliveredRetryImprovement(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 100000
+	count := func(m LinkModel) float64 {
+		ok := 0
+		for i := 0; i < n; i++ {
+			if m.Delivered(rng) {
+				ok++
+			}
+		}
+		return float64(ok) / float64(n)
+	}
+	p0 := count(LinkModel{LossRate: 0.5, Retries: 0})
+	p2 := count(LinkModel{LossRate: 0.5, Retries: 2})
+	if math.Abs(p0-0.5) > 0.01 {
+		t.Errorf("no-retry delivery = %v, want ≈0.5", p0)
+	}
+	// Retries+1 = 3 attempts: 1 - 0.5³ = 0.875.
+	if math.Abs(p2-0.875) > 0.01 {
+		t.Errorf("2-retry delivery = %v, want ≈0.875", p2)
+	}
+}

@@ -1,0 +1,248 @@
+package signal
+
+import "math"
+
+// SlidingDFTWindow is the window length of the paper's XSM detection filter
+// (Figure 9): 36 samples, the least common multiple of the two beacon
+// periods (4 and 6 samples), so both bins complete whole cycles per window.
+const SlidingDFTWindow = 36
+
+// SlidingDFT is the paper's Figure 9 software tone-detection filter: an
+// incrementally-updated DFT over a sliding 36-sample window that tracks the
+// power of two candidate beacon bands at 1/4 and 1/6 of the sampling rate.
+// Those frequencies are chosen so the complex roots of unity are 0, ±1, ±1/2
+// (scaled), avoiding multiplications on a microcontroller.
+//
+// The zero value is ready to use.
+type SlidingDFT struct {
+	samples [SlidingDFTWindow]float64
+	n       int // index into the circular buffer, mod 36 (phase mod 4 follows n)
+	k       int // phase counter mod 6
+	re4     float64
+	im4     float64
+	re6     float64
+	im6     float64
+}
+
+// Reset restores the filter to its initial state.
+func (f *SlidingDFT) Reset() { *f = SlidingDFT{} }
+
+// Filter pushes one raw sample and returns the updated band power estimates
+// (p4, p6) for the fs/4 and fs/6 beacon bands, exactly per Figure 9:
+// p4 = re4² + im4², p6 = (re6² + 3·im6²)/2.
+func (f *SlidingDFT) Filter(sample float64) (p4, p6 float64) {
+	// Replace the oldest sample; the delta updates the running DFT bins.
+	delta := sample - f.samples[f.n]
+	f.samples[f.n] = sample
+
+	// fs/4 bin: roots of unity cycle (1, i, -1, -i) with period 4. Because
+	// 36 ≡ 0 (mod 4), the phase of a buffer slot is stable across wraps.
+	switch f.n % 4 {
+	case 0:
+		f.re4 += delta
+	case 1:
+		f.im4 += delta
+	case 2:
+		f.re4 -= delta
+	case 3:
+		f.im4 -= delta
+	}
+
+	// fs/6 bin: coefficients are 2·cos and (2/√3)·sin of 2πk/6, kept integer
+	// by scaling; the (re6² + 3·im6²)/2 output compensates.
+	switch f.k {
+	case 0:
+		f.re6 += 2 * delta
+	case 1:
+		f.re6 += delta
+		f.im6 += delta
+	case 2:
+		f.re6 -= delta
+		f.im6 += delta
+	case 3:
+		f.re6 -= 2 * delta
+	case 4:
+		f.re6 -= delta
+		f.im6 -= delta
+	case 5:
+		f.re6 += delta
+		f.im6 -= delta
+	}
+
+	f.n = (f.n + 1) % SlidingDFTWindow
+	f.k = (f.k + 1) % 6
+
+	return f.re4*f.re4 + f.im4*f.im4, (f.re6*f.re6 + 3*f.im6*f.im6) / 2
+}
+
+// FilterSeries runs the filter over an entire sampled waveform and returns
+// the two band-power series, each the same length as the input.
+func (f *SlidingDFT) FilterSeries(samples []float64) (p4, p6 []float64) {
+	p4 = make([]float64, len(samples))
+	p6 = make([]float64, len(samples))
+	for i, s := range samples {
+		p4[i], p6[i] = f.Filter(s)
+	}
+	return p4, p6
+}
+
+// DFTDetector detects chirps in a raw sampled waveform using the sliding
+// DFT filter plus the paper's noise-isolation rule (Section 3.7): estimate
+// the broadband noise power, subtract/compare it against the beacon-band
+// output, and declare a detection when the band exceeds the noise floor by a
+// margin for a sustained run of samples.
+//
+// The noise floor is estimated as a sliding *minimum* of the windowed mean
+// square over the preceding NoiseWindow samples. The minimum reaches the
+// pure-noise level during inter-chirp gaps, so — unlike a plain Parseval
+// average — the estimate is not inflated by the beacon tone itself while a
+// chirp is sounding.
+type DFTDetector struct {
+	// Band selects which beacon band to monitor: 4 for fs/4, 6 for fs/6.
+	Band int
+	// Margin is the multiple of the per-bin noise power the beacon band must
+	// exceed for detection. Noise bin power is exponentially distributed and
+	// strongly correlated across the window overlap, so the margin — not
+	// MinRun — controls the false-positive rate; 12–16 keeps false positives
+	// negligible over seconds of audio while still detecting tones near
+	// unity per-sample SNR.
+	Margin float64
+	// MinRun is the number of consecutive over-margin samples required to
+	// declare a chirp, suppressing single-sample flickers.
+	MinRun int
+	// Refractory is the number of samples after a detection during which no
+	// new chirp is declared. Set it to at least chirp length + DFT window so
+	// one chirp (plus the window tail it leaves in the filter) yields one
+	// event.
+	Refractory int
+	// NoiseWindow is the span, in samples, over which the minimum of the
+	// windowed mean square is tracked. It must cover at least one
+	// inter-chirp gap so the estimate can dip to the true floor.
+	NoiseWindow int
+}
+
+// DefaultDFTDetector returns the configuration used for the Figure 10
+// reproduction: fs/6 band, 16× noise margin, 18-sample run, refractory
+// covering a 128-sample chirp plus the filter window.
+func DefaultDFTDetector() DFTDetector {
+	return DFTDetector{
+		Band:        6,
+		Margin:      16,
+		MinRun:      18,
+		Refractory:  128 + SlidingDFTWindow,
+		NoiseWindow: 256,
+	}
+}
+
+// Detect returns the sample indices at which chirps are detected in the
+// waveform.
+func (d DFTDetector) Detect(samples []float64) []int {
+	if len(samples) < SlidingDFTWindow {
+		return nil
+	}
+	var f SlidingDFT
+	p4, p6 := f.FilterSeries(samples)
+	band := p6
+	bandScale := 0.5 // Figure 9's (re6²+3·im6²)/2 equals 2·|S|²; undo it
+	if d.Band == 4 {
+		band = p4
+		bandScale = 1
+	}
+
+	// Per-bin noise power: by Parseval a W-sample window of variance-σ²
+	// noise puts W·σ² in each bin on average; σ² comes from the sliding
+	// minimum of the windowed mean square.
+	meanSq := slidingMeanSquare(samples, SlidingDFTWindow)
+	floor := slidingMin(meanSq, d.noiseWindow())
+	const w = float64(SlidingDFTWindow)
+
+	margin := d.Margin
+	if margin < 1 {
+		margin = 1
+	}
+	minRun := d.MinRun
+	if minRun <= 0 {
+		minRun = 1
+	}
+
+	var hits []int
+	run := 0
+	cooldown := 0
+	for i := range band {
+		if cooldown > 0 {
+			cooldown--
+			run = 0
+			continue
+		}
+		p := band[i] * bandScale
+		if p > margin*w*floor[i] && p > 1e-12 {
+			run++
+			if run == minRun {
+				hits = append(hits, i-minRun+1)
+				cooldown = d.Refractory
+			}
+		} else {
+			run = 0
+		}
+	}
+	return hits
+}
+
+func (d DFTDetector) noiseWindow() int {
+	if d.NoiseWindow <= 0 {
+		return 256
+	}
+	return d.NoiseWindow
+}
+
+// slidingMeanSquare returns the mean of squared samples over a trailing
+// window of length w at each index (shorter at the start).
+func slidingMeanSquare(samples []float64, w int) []float64 {
+	out := make([]float64, len(samples))
+	var sum float64
+	for i, s := range samples {
+		sum += s * s
+		if i >= w {
+			sum -= samples[i-w] * samples[i-w]
+		}
+		n := i + 1
+		if n > w {
+			n = w
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// slidingMin returns, at each index, the minimum of xs over the trailing
+// window of length w, using a monotonic deque for O(n) total work.
+func slidingMin(xs []float64, w int) []float64 {
+	out := make([]float64, len(xs))
+	deque := make([]int, 0, w) // indices with increasing values
+	for i, x := range xs {
+		for len(deque) > 0 && xs[deque[len(deque)-1]] >= x {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, i)
+		if deque[0] <= i-w {
+			deque = deque[1:]
+		}
+		out[i] = xs[deque[0]]
+	}
+	return out
+}
+
+// GoertzelPower computes the DFT bin power of samples at normalized
+// frequency freq (cycles per sample) with the Goertzel recurrence. It is the
+// reference implementation the sliding filter is validated against in tests.
+func GoertzelPower(samples []float64, freq float64) float64 {
+	omega := 2 * math.Pi * freq
+	coeff := 2 * math.Cos(omega)
+	var s0, s1, s2 float64
+	for _, x := range samples {
+		s0 = x + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	return s1*s1 + s2*s2 - coeff*s1*s2
+}

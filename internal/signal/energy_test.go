@@ -1,0 +1,146 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEnergyDetectorValidate(t *testing.T) {
+	if err := DefaultBandpassEnergyDetector().Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+	bad := []BandpassEnergyDetector{
+		{},
+		{SampleRate: 16000, CenterFreq: 9000, Q: 8, Margin: 10}, // above Nyquist
+		{SampleRate: 16000, CenterFreq: 2000, Q: 0, Margin: 10},
+		{SampleRate: 16000, CenterFreq: 2000, Q: 8, Margin: 0.5},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("detector %d should be invalid", i)
+		}
+	}
+}
+
+func TestBiquadSelectivity(t *testing.T) {
+	d := DefaultBandpassEnergyDetector()
+	gain := func(freq float64) float64 {
+		n := 2000
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = math.Sin(2 * math.Pi * freq / d.SampleRate * float64(i))
+		}
+		out := d.Filter(in)
+		var e float64
+		for _, y := range out[n/2:] { // steady state
+			e += y * y
+		}
+		return e
+	}
+	center := gain(d.CenterFreq)
+	off := gain(d.CenterFreq * 2.5)
+	if center < 10*off {
+		t.Errorf("band-pass not selective: center %g vs off-band %g", center, off)
+	}
+}
+
+func TestEnergyDetectorCleanSignal(t *testing.T) {
+	cfg := DefaultSynth()
+	wave, err := cfg.Generate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := DefaultBandpassEnergyDetector().Detect(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != cfg.Chirps {
+		t.Fatalf("clean signal: %d detections, want %d (hits=%v)", len(hits), cfg.Chirps, hits)
+	}
+}
+
+func TestEnergyDetectorPureNoiseNoFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	wave := make([]float64, 16000)
+	for i := range wave {
+		wave[i] = rng.NormFloat64() * 500
+	}
+	hits, err := DefaultBandpassEnergyDetector().Detect(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Errorf("pure noise produced %d detections: %v", len(hits), hits)
+	}
+}
+
+// TestEnergyDetectorWorseThanDFTInNoise reproduces the paper's §3.7
+// comparison: band-pass + energy detection achieves similar accuracy but a
+// *shorter maximum range* than coherent tone detection — i.e. at low SNR the
+// DFT detector still finds chirps the energy detector misses.
+func TestEnergyDetectorWorseThanDFTInNoise(t *testing.T) {
+	countHits := func(noise float64, seed int64) (dft, energy int) {
+		cfg := DefaultSynth()
+		cfg.NoiseStd = noise
+		rng := rand.New(rand.NewSource(seed))
+		wave, err := cfg.Generate(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts := cfg.ChirpStarts()
+		match := func(hits []int) int {
+			n := 0
+			for _, h := range hits {
+				for _, s := range starts {
+					if h >= s-SlidingDFTWindow && h <= s+cfg.ChirpLen {
+						n++
+						break
+					}
+				}
+			}
+			return n
+		}
+		eh, err := DefaultBandpassEnergyDetector().Detect(wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return match(DefaultDFTDetector().Detect(wave)), match(eh)
+	}
+
+	// Moderate noise: both should find most chirps.
+	dftMod, energyMod := countHits(300, 11)
+	if dftMod < 3 || energyMod < 3 {
+		t.Errorf("moderate noise: dft=%d energy=%d, want ≥3 each", dftMod, energyMod)
+	}
+
+	// Heavy noise across several trials: the DFT detector must find at
+	// least as many chirps in total, and strictly more overall.
+	var dftTotal, energyTotal int
+	for seed := int64(0); seed < 8; seed++ {
+		d, e := countHits(900, 100+seed)
+		dftTotal += d
+		energyTotal += e
+	}
+	if dftTotal < energyTotal {
+		t.Errorf("heavy noise: dft=%d < energy=%d — coherent detection should win", dftTotal, energyTotal)
+	}
+}
+
+func TestEnergyDetectorShortInput(t *testing.T) {
+	hits, err := DefaultBandpassEnergyDetector().Detect(make([]float64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != nil {
+		t.Errorf("short input produced hits: %v", hits)
+	}
+}
+
+func TestEnergyDetectorInvalidConfig(t *testing.T) {
+	d := DefaultBandpassEnergyDetector()
+	d.Q = -1
+	if _, err := d.Detect(make([]float64, 100)); err == nil {
+		t.Error("want error for invalid config")
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width binned count of samples over [Lo, Hi). Samples
+// outside the range are tallied in Under/Over. It regenerates the paper's
+// error histograms (Figures 2, 4, 6, 7).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram creates a histogram with n equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, errors.New("stats: NewHistogram: need at least one bin")
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: NewHistogram: invalid range [%g, %g)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}, nil
+}
+
+// Add tallies one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case math.IsNaN(x):
+		h.Over++ // NaN is treated as an out-of-range artifact
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i >= len(h.Counts) { // guard the x ≈ Hi float edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// AddAll tallies every sample in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of samples added, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// MaxCount returns the largest bin count.
+func (h *Histogram) MaxCount() int {
+	m := 0
+	for _, c := range h.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Render draws the histogram as a fixed-width ASCII bar chart, one bin per
+// line, for the experiment harness output.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxC := h.MaxCount()
+	if maxC == 0 {
+		maxC = 1
+	}
+	var b strings.Builder
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "%9s | %d\n", fmt.Sprintf("< %.2f", h.Lo), h.Under)
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(&b, "%9.2f | %-*s %d\n", h.BinCenter(i), width, bar, c)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "%9s | %d\n", fmt.Sprintf(">= %.2f", h.Hi), h.Over)
+	}
+	return b.String()
+}
