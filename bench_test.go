@@ -11,11 +11,13 @@ package resilientloc_test
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"resilientloc/internal/acoustics"
 	"resilientloc/internal/core"
 	"resilientloc/internal/deploy"
+	"resilientloc/internal/engine"
 	"resilientloc/internal/eval"
 	"resilientloc/internal/experiments"
 	"resilientloc/internal/geom"
@@ -164,6 +166,39 @@ func BenchmarkFig25DistributedExtended(b *testing.B) {
 		"average error of aligned": "avg_err_m",
 	})
 }
+
+// --- Scenario-engine benchmarks ------------------------------------------
+
+// benchScenarioRunner runs a representative library scenario (the town
+// multilateration Monte Carlo) through the engine at the given worker
+// count. Comparing BenchmarkRunnerSerial with BenchmarkRunnerParallel
+// demonstrates the engine's near-linear speedup: both produce byte-
+// identical aggregates, so the speedup is free.
+func benchScenarioRunner(b *testing.B, workers int) {
+	b.Helper()
+	s, ok := engine.Find("multilat-town")
+	if !ok {
+		b.Fatal("multilat-town missing from scenario library")
+	}
+	r, err := engine.NewRunner(engine.Config{Workers: workers, Trials: 64, ShardSize: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *engine.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = r.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if m, ok := rep.Metric("avg_error_m"); ok {
+		b.ReportMetric(m.Mean, "avg_err_m")
+	}
+}
+
+func BenchmarkRunnerSerial(b *testing.B)   { benchScenarioRunner(b, 1) }
+func BenchmarkRunnerParallel(b *testing.B) { benchScenarioRunner(b, runtime.GOMAXPROCS(0)) }
 
 // --- Ablation benchmarks -------------------------------------------------
 

@@ -1,0 +1,132 @@
+// Command scenarios lists and runs the scenario library on the concurrent
+// execution engine.
+//
+// Usage:
+//
+//	scenarios -list
+//	scenarios -run multilat-town,ranging-grass-refined [-trials N] [-parallel W] [-seed S] [-json]
+//	scenarios -suite multilat [-json]
+//	scenarios -run all
+//
+// All metric aggregates are deterministic per seed at any -parallel value
+// (only the reported worker count and elapsed time vary).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"resilientloc/internal/engine"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list scenarios and suites, then exit")
+	runNames := fs.String("run", "", "comma-separated scenario names to run, or \"all\"")
+	suite := fs.String("suite", "", "run every scenario of the named suite")
+	trials := fs.Int("trials", 0, "override each scenario's default trial count")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "scenario seed (runs are deterministic per seed)")
+	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list || (*runNames == "" && *suite == "") {
+		return printList(out)
+	}
+
+	selected, err := selectScenarios(*runNames, *suite)
+	if err != nil {
+		return err
+	}
+	runner, err := engine.NewRunner(engine.Config{
+		Workers: *parallel,
+		Trials:  *trials,
+		Seed:    *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	var reports []*engine.Report
+	for _, s := range selected {
+		rep, err := runner.Run(s)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		if !*asJSON {
+			printReport(out, rep)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	return nil
+}
+
+func selectScenarios(runNames, suite string) ([]engine.Scenario, error) {
+	if suite != "" {
+		if runNames != "" {
+			return nil, fmt.Errorf("use either -run or -suite, not both")
+		}
+		st, ok := engine.FindSuite(suite)
+		if !ok {
+			return nil, fmt.Errorf("unknown suite %q", suite)
+		}
+		return st.Scenarios, nil
+	}
+	if runNames == "all" {
+		return engine.Library(), nil
+	}
+	var selected []engine.Scenario
+	for _, name := range strings.Split(runNames, ",") {
+		name = strings.TrimSpace(name)
+		s, ok := engine.Find(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q", name)
+		}
+		selected = append(selected, s)
+	}
+	return selected, nil
+}
+
+func printList(out io.Writer) error {
+	for _, suite := range engine.Suites() {
+		fmt.Fprintf(out, "suite %s — %s\n", suite.Name, suite.Description)
+		for _, s := range suite.Scenarios {
+			fmt.Fprintf(out, "  %-28s %4d trials  %s\n", s.Name, s.Trials, s.Description)
+		}
+	}
+	return nil
+}
+
+func printReport(out io.Writer, rep *engine.Report) {
+	fmt.Fprintf(out, "== %s: %d trials, seed %d, %d workers, %.2fs ==\n",
+		rep.Scenario, rep.Trials, rep.Seed, rep.Workers, rep.ElapsedSeconds)
+	fmt.Fprintf(out, "  %-22s %7s %10s %10s %10s %10s %10s\n",
+		"metric", "count", "mean", "std", "p50", "p90", "max")
+	for _, m := range rep.Metrics {
+		fmt.Fprintf(out, "  %-22s %7d %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+			m.Name, m.Count, m.Mean, m.StdDev, m.P50, m.P90, m.Max)
+	}
+	for _, s := range rep.Series {
+		fmt.Fprintf(out, "  series %s: %d points (pointwise mean over %d trials)\n",
+			s.Name, len(s.Mean), s.Trials)
+	}
+	fmt.Fprintln(out)
+}

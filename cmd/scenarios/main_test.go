@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"resilientloc/internal/engine"
+)
+
+func TestListOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"suite ranging", "suite multilat", "multilat-town", "maxrange-grass-t2"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunScenarioTextAndJSON(t *testing.T) {
+	var text bytes.Buffer
+	err := run([]string{"-run", "multilat-town", "-trials", "3", "-seed", "2", "-parallel", "2"}, &text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "multilat-town") || !strings.Contains(text.String(), "localized_frac") {
+		t.Errorf("text report incomplete:\n%s", text.String())
+	}
+
+	var jsonBuf bytes.Buffer
+	err = run([]string{"-run", "multilat-town", "-trials", "3", "-seed", "2", "-json"}, &jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []engine.Report
+	if err := json.Unmarshal(jsonBuf.Bytes(), &reports); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, jsonBuf.String())
+	}
+	if len(reports) != 1 || reports[0].Scenario != "multilat-town" || reports[0].Trials != 3 {
+		t.Errorf("unexpected JSON reports: %+v", reports)
+	}
+	if _, ok := reports[0].Metric("avg_error_m"); !ok {
+		t.Error("JSON report missing avg_error_m")
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	var buf bytes.Buffer
+	// The multilat suite is the cheapest that exercises several scenarios.
+	err := run([]string{"-suite", "multilat", "-trials", "2", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"multilat-town", "multilat-anchor-dropout-6", "multilat-grid-196"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("suite output missing %q", want)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-run", "nope"},
+		{"-suite", "nope"},
+		{"-run", "multilat-town", "-suite", "multilat"},
+		{"-run", "multilat-town", "-parallel", "-1"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module resilientloc
+
+go 1.24

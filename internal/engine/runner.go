@@ -1,0 +1,410 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"resilientloc/internal/stats"
+)
+
+// DefaultShardSize is the number of consecutive trials aggregated into one
+// shard. The shard partition depends only on the trial count — never on the
+// worker count — which is what makes parallel runs reproduce serial ones.
+const DefaultShardSize = 8
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Workers is the goroutine pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Trials overrides the scenario's default trial count when positive.
+	Trials int
+	// Seed is the scenario seed every per-trial seed is derived from.
+	Seed int64
+	// ShardSize overrides DefaultShardSize when positive. Aggregates are
+	// a deterministic function of (seed, trials, shard size) only.
+	ShardSize int
+	// KeepTrialValues retains per-trial metric values (Report.TrialScalars,
+	// Report.TrialSeries) in addition to the streaming aggregates. Figure
+	// reproductions use this when they need trial-ordered data.
+	KeepTrialValues bool
+}
+
+// Runner executes scenarios by sharding their trials across a worker pool.
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner validates cfg and returns a Runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("engine: NewRunner: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Trials < 0 {
+		return nil, fmt.Errorf("engine: NewRunner: negative trial count %d", cfg.Trials)
+	}
+	if cfg.ShardSize < 0 {
+		return nil, fmt.Errorf("engine: NewRunner: negative shard size %d", cfg.ShardSize)
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// MetricSummary aggregates every sample of one scalar metric across a run.
+// Quantiles come from the merged stats.QuantileSketch and are accurate to
+// its relative error; the moments come from the merged stats.Online.
+type MetricSummary struct {
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
+// SeriesSummary is the pointwise mean of a recorded series across trials.
+type SeriesSummary struct {
+	Name   string    `json:"name"`
+	Trials int64     `json:"trials"`
+	Mean   []float64 `json:"mean"`
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	Scenario       string          `json:"scenario"`
+	Seed           int64           `json:"seed"`
+	Trials         int             `json:"trials"`
+	Workers        int             `json:"workers"`
+	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	Metrics        []MetricSummary `json:"metrics"`
+	Series         []SeriesSummary `json:"series,omitempty"`
+
+	// TrialScalars maps a metric name to its last recorded value per trial
+	// (NaN where a trial recorded none); TrialSeries likewise holds each
+	// trial's recorded series (nil where absent). Both are populated only
+	// under Config.KeepTrialValues and are excluded from JSON.
+	TrialScalars map[string][]float64   `json:"-"`
+	TrialSeries  map[string][][]float64 `json:"-"`
+}
+
+// Metric returns the summary of the named metric, if present.
+func (r *Report) Metric(name string) (MetricSummary, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MetricSummary{}, false
+}
+
+// scalarAgg is one metric's streaming state within a shard.
+type scalarAgg struct {
+	online stats.Online
+	sketch *stats.QuantileSketch
+}
+
+func newScalarAgg() *scalarAgg {
+	sk, err := stats.NewQuantileSketch(stats.DefaultSketchAlpha)
+	if err != nil {
+		panic(err) // DefaultSketchAlpha is always valid
+	}
+	return &scalarAgg{sketch: sk}
+}
+
+func (a *scalarAgg) add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	a.online.Add(v)
+	a.sketch.Add(v)
+}
+
+// seriesAgg is one series metric's pointwise streaming state.
+type seriesAgg struct {
+	points []stats.Online
+	trials int64
+}
+
+// shardAgg accumulates one shard's trials. Shards are merged in ascending
+// shard order, so any metric-name discovery order and every floating-point
+// reduction is independent of scheduling.
+type shardAgg struct {
+	lo, hi int // trial index range [lo, hi)
+
+	scalarOrder []string
+	scalars     map[string]*scalarAgg
+	seriesOrder []string
+	series      map[string]*seriesAgg
+
+	trialScalars map[string][]float64   // per-trial last value, len hi-lo
+	trialSeries  map[string][][]float64 // per-trial series, len hi-lo
+
+	err      error // first trial error in this shard
+	errTrial int
+}
+
+// runShard executes trials [lo, hi) serially and aggregates their samples.
+func runShard(s Scenario, seed int64, lo, hi int, keep bool) *shardAgg {
+	agg := &shardAgg{
+		lo: lo, hi: hi,
+		scalars: make(map[string]*scalarAgg),
+		series:  make(map[string]*seriesAgg),
+	}
+	if keep {
+		agg.trialScalars = make(map[string][]float64)
+		agg.trialSeries = make(map[string][][]float64)
+	}
+	for trial := lo; trial < hi; trial++ {
+		t := &T{Trial: trial, RNG: newTrialRNG(s, seed, trial)}
+		if err := s.Run(t); err != nil {
+			agg.err = fmt.Errorf("engine: scenario %s: trial %d: %w", s.Name, trial, err)
+			agg.errTrial = trial
+			return agg
+		}
+		if err := agg.fold(t, keep); err != nil {
+			agg.err = err
+			agg.errTrial = trial
+			return agg
+		}
+	}
+	return agg
+}
+
+func (agg *shardAgg) fold(t *T, keep bool) error {
+	for _, smp := range t.scalars {
+		a, ok := agg.scalars[smp.name]
+		if !ok {
+			a = newScalarAgg()
+			agg.scalars[smp.name] = a
+			agg.scalarOrder = append(agg.scalarOrder, smp.name)
+		}
+		a.add(smp.value)
+		if keep {
+			agg.trialScalar(smp.name)[t.Trial-agg.lo] = smp.value
+		}
+	}
+	for _, ss := range t.series {
+		a, ok := agg.series[ss.name]
+		if !ok {
+			a = &seriesAgg{points: make([]stats.Online, len(ss.values))}
+			agg.series[ss.name] = a
+			agg.seriesOrder = append(agg.seriesOrder, ss.name)
+		}
+		if len(ss.values) != len(a.points) {
+			return fmt.Errorf("engine: series %q length %d differs from earlier trials' %d (trial %d)",
+				ss.name, len(ss.values), len(a.points), t.Trial)
+		}
+		for i, v := range ss.values {
+			a.points[i].Add(v)
+		}
+		a.trials++
+		if keep {
+			if _, ok := agg.trialSeries[ss.name]; !ok {
+				agg.trialSeries[ss.name] = make([][]float64, agg.hi-agg.lo)
+			}
+			agg.trialSeries[ss.name][t.Trial-agg.lo] = ss.values
+		}
+	}
+	return nil
+}
+
+// trialScalar returns (creating on demand) the per-trial value slice for a
+// metric, initialized to NaN so absent trials are distinguishable.
+func (agg *shardAgg) trialScalar(name string) []float64 {
+	vs, ok := agg.trialScalars[name]
+	if !ok {
+		vs = make([]float64, agg.hi-agg.lo)
+		for i := range vs {
+			vs[i] = math.NaN()
+		}
+		agg.trialScalars[name] = vs
+	}
+	return vs
+}
+
+// newTrialRNG builds the trial's private deterministic generator.
+func newTrialRNG(s Scenario, seed int64, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(s.seedFor(seed, trial)))
+}
+
+// Run executes the scenario under the runner's configuration. A failing
+// trial stops only its own shard (the shard's later trials are skipped);
+// every other shard still runs, so both the aggregates and any error are a
+// pure function of the configuration. If several trials fail, the error of
+// the lowest-indexed failing trial is returned.
+func (r *Runner) Run(s Scenario) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	trials := r.cfg.Trials
+	if trials == 0 {
+		trials = s.Trials
+	}
+	if s.MaxTrials > 0 && trials > s.MaxTrials {
+		trials = s.MaxTrials
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("engine: scenario %s: no trial count configured", s.Name)
+	}
+	shardSize := r.cfg.ShardSize
+	if shardSize == 0 {
+		shardSize = DefaultShardSize
+	}
+	workers := r.cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numShards := (trials + shardSize - 1) / shardSize
+	if workers > numShards {
+		workers = numShards
+	}
+
+	start := time.Now()
+	aggs := make([]*shardAgg, numShards)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range jobs {
+				lo := si * shardSize
+				hi := lo + shardSize
+				if hi > trials {
+					hi = trials
+				}
+				aggs[si] = runShard(s, r.cfg.Seed, lo, hi, r.cfg.KeepTrialValues)
+			}
+		}()
+	}
+	for si := 0; si < numShards; si++ {
+		jobs <- si
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := firstError(aggs); err != nil {
+		return nil, err
+	}
+	rep, err := mergeShards(s, aggs, trials, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Workers = workers
+	rep.ElapsedSeconds = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// firstError returns the error of the lowest-indexed failing trial.
+func firstError(aggs []*shardAgg) error {
+	var first error
+	firstTrial := -1
+	for _, a := range aggs {
+		if a.err != nil && (firstTrial == -1 || a.errTrial < firstTrial) {
+			first, firstTrial = a.err, a.errTrial
+		}
+	}
+	return first
+}
+
+// mergeShards folds the per-shard aggregates, in ascending shard order,
+// into one Report.
+func mergeShards(s Scenario, aggs []*shardAgg, trials int, cfg Config) (*Report, error) {
+	rep := &Report{Scenario: s.Name, Seed: cfg.Seed, Trials: trials}
+	scalarOrder := []string{}
+	scalars := map[string]*scalarAgg{}
+	seriesOrder := []string{}
+	series := map[string]*seriesAgg{}
+	if cfg.KeepTrialValues {
+		rep.TrialScalars = make(map[string][]float64)
+		rep.TrialSeries = make(map[string][][]float64)
+	}
+
+	for _, a := range aggs {
+		for _, name := range a.scalarOrder {
+			dst, ok := scalars[name]
+			if !ok {
+				dst = newScalarAgg()
+				scalars[name] = dst
+				scalarOrder = append(scalarOrder, name)
+			}
+			src := a.scalars[name]
+			dst.online.Merge(&src.online)
+			if err := dst.sketch.Merge(src.sketch); err != nil {
+				return nil, fmt.Errorf("engine: scenario %s: %w", s.Name, err)
+			}
+		}
+		for _, name := range a.seriesOrder {
+			src := a.series[name]
+			dst, ok := series[name]
+			if !ok {
+				dst = &seriesAgg{points: make([]stats.Online, len(src.points))}
+				series[name] = dst
+				seriesOrder = append(seriesOrder, name)
+			}
+			if len(src.points) != len(dst.points) {
+				return nil, fmt.Errorf("engine: scenario %s: series %q length differs across shards (%d vs %d)",
+					s.Name, name, len(src.points), len(dst.points))
+			}
+			for i := range src.points {
+				dst.points[i].Merge(&src.points[i])
+			}
+			dst.trials += src.trials
+		}
+		if cfg.KeepTrialValues {
+			for name, vs := range a.trialScalars {
+				copy(trialScalarSlot(rep, name, trials)[a.lo:a.hi], vs)
+			}
+			for name, rows := range a.trialSeries {
+				if _, ok := rep.TrialSeries[name]; !ok {
+					rep.TrialSeries[name] = make([][]float64, trials)
+				}
+				copy(rep.TrialSeries[name][a.lo:a.hi], rows)
+			}
+		}
+	}
+
+	for _, name := range scalarOrder {
+		a := scalars[name]
+		m := MetricSummary{
+			Name:   name,
+			Count:  a.online.N(),
+			Mean:   a.online.Mean(),
+			StdDev: a.online.StdDev(),
+			Min:    a.online.Min(),
+			Max:    a.online.Max(),
+		}
+		if a.sketch.Count() > 0 {
+			m.P50, _ = a.sketch.Quantile(0.5)
+			m.P90, _ = a.sketch.Quantile(0.9)
+			m.P99, _ = a.sketch.Quantile(0.99)
+		}
+		rep.Metrics = append(rep.Metrics, m)
+	}
+	for _, name := range seriesOrder {
+		a := series[name]
+		mean := make([]float64, len(a.points))
+		for i := range a.points {
+			mean[i] = a.points[i].Mean()
+		}
+		rep.Series = append(rep.Series, SeriesSummary{Name: name, Trials: a.trials, Mean: mean})
+	}
+	return rep, nil
+}
+
+func trialScalarSlot(rep *Report, name string, trials int) []float64 {
+	vs, ok := rep.TrialScalars[name]
+	if !ok {
+		vs = make([]float64, trials)
+		for i := range vs {
+			vs[i] = math.NaN()
+		}
+		rep.TrialScalars[name] = vs
+	}
+	return vs
+}

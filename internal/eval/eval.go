@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"resilientloc/internal/geom"
 )
@@ -80,11 +81,20 @@ func AvgErrorAbsolute(est map[int]geom.Point, truth []geom.Point) (avg float64, 
 	if len(est) == 0 {
 		return 0, 0, errors.New("eval: AvgErrorAbsolute: no estimates")
 	}
-	for i, p := range est {
+	// Accumulate in sorted node order: summing in Go's randomized map
+	// iteration order makes the result differ in the last ulp from run to
+	// run, which breaks the bit-exact reproducibility the scenario engine
+	// guarantees.
+	nodes := make([]int, 0, len(est))
+	for i := range est {
+		nodes = append(nodes, i)
+	}
+	sort.Ints(nodes)
+	for _, i := range nodes {
 		if i < 0 || i >= len(truth) {
 			return 0, 0, fmt.Errorf("eval: AvgErrorAbsolute: node %d outside truth", i)
 		}
-		e := p.Dist(truth[i])
+		e := est[i].Dist(truth[i])
 		avg += e
 		worst = math.Max(worst, e)
 	}

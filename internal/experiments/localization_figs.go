@@ -6,6 +6,7 @@ import (
 	"resilientloc/internal/acoustics"
 	"resilientloc/internal/core"
 	"resilientloc/internal/deploy"
+	"resilientloc/internal/engine"
 	"resilientloc/internal/eval"
 	"resilientloc/internal/geom"
 	"resilientloc/internal/measure"
@@ -396,39 +397,71 @@ func Fig20MultilatTown(seed int64) (*Result, error) {
 // returns the per-descent average localization errors plus the pointwise
 // mean objective history — the statistically honest version of the paper's
 // single-run Figures 21–23: which single run converges is seed luck, so we
-// report the ensemble.
+// report the ensemble. The descents are independent Monte Carlo trials, so
+// they run concurrently on the scenario engine; the scenario's SeedFn
+// keeps the original seed·1000+k per-descent seeding, and the aggregation
+// below accumulates the retained per-trial values in trial order, so the
+// results are bit-identical to the former serial loop.
 func townSingleDescents(seed int64, dmin float64, nDescents, maxIters int) ([]float64, []float64, error) {
 	dep, set, err := townScenario(seed)
 	if err != nil {
 		return nil, nil, err
 	}
-	var errsOut []float64
-	meanHist := make([]float64, maxIters+1)
-	for k := 0; k < nDescents; k++ {
-		cfg := core.DefaultLSSConfig(dmin)
-		cfg.Mode = core.StepFixed
-		cfg.Step = 0.002
-		cfg.Restarts = 0
-		cfg.MaxIters = maxIters
-		cfg.SeedMDSMap = false
-		// Compact initialization, matching the paper's Figure 23 starting
-		// objective: the constraint then acts as an unfolding force.
-		cfg.InitSpread = 20
-		res, err := core.SolveLSS(set, cfg, rand.New(rand.NewSource(seed*1000+int64(k))))
-		if err != nil {
-			return nil, nil, err
-		}
-		a, err := eval.Fit(res.Positions, dep.Positions)
-		if err != nil {
-			return nil, nil, err
-		}
-		errsOut = append(errsOut, a.AvgError)
-		for i := range meanHist {
-			h := res.History
-			v := h[len(h)-1]
-			if i < len(h) {
-				v = h[i]
+	sc := engine.Scenario{
+		Name:        "town-single-descent",
+		Description: "independent fixed-step LSS descents on the town scenario (paper Figs. 21-23)",
+		Trials:      nDescents,
+		SeedFn:      func(s int64, k int) int64 { return s*1000 + int64(k) },
+		Run: func(t *engine.T) error {
+			cfg := core.DefaultLSSConfig(dmin)
+			cfg.Mode = core.StepFixed
+			cfg.Step = 0.002
+			cfg.Restarts = 0
+			cfg.MaxIters = maxIters
+			cfg.SeedMDSMap = false
+			// Compact initialization, matching the paper's Figure 23
+			// starting objective: the constraint then acts as an unfolding
+			// force.
+			cfg.InitSpread = 20
+			res, err := core.SolveLSS(set, cfg, t.RNG)
+			if err != nil {
+				return err
 			}
+			a, err := eval.Fit(res.Positions, dep.Positions)
+			if err != nil {
+				return err
+			}
+			t.Record("avg_error_m", a.AvgError)
+			// Pad an early-converged history with its final value so the
+			// pointwise ensemble mean is defined at every iteration.
+			h := res.History
+			padded := make([]float64, maxIters+1)
+			for i := range padded {
+				v := h[len(h)-1]
+				if i < len(h) {
+					v = h[i]
+				}
+				padded[i] = v
+			}
+			t.RecordSeries("E", padded)
+			return nil
+		},
+	}
+	// ShardSize 1 runs each descent on its own worker; the aggregation
+	// below reads only the trial-indexed TrialScalars/TrialSeries, which
+	// do not depend on the shard partition.
+	runner, err := engine.NewRunner(engine.Config{Seed: seed, ShardSize: 1, KeepTrialValues: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := runner.Run(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	errsOut := rep.TrialScalars["avg_error_m"]
+	meanHist := make([]float64, maxIters+1)
+	for _, hist := range rep.TrialSeries["E"] {
+		for i, v := range hist {
 			meanHist[i] += v / float64(nDescents)
 		}
 	}

@@ -7,7 +7,7 @@ import (
 
 	"resilientloc/internal/acoustics"
 	"resilientloc/internal/deploy"
-	"resilientloc/internal/geom"
+	"resilientloc/internal/engine"
 	"resilientloc/internal/measure"
 	"resilientloc/internal/ranging"
 	"resilientloc/internal/signal"
@@ -361,7 +361,10 @@ func Fig10DFTToneDetection(seed int64) (*Result, error) {
 
 // MaxRangeSweep reproduces the Section 3.6.2 maximum-range analysis:
 // detection success rate versus distance for grass and pavement at the
-// lowest and the calibrated detection thresholds.
+// lowest and the calibrated detection thresholds. Each (environment,
+// threshold) sweep runs as an engine scenario — one trial per distance
+// point, executed concurrently — whose SeedFn reproduces the original
+// serial seed arithmetic, so the figure's numbers are unchanged.
 func MaxRangeSweep(seed int64) (*Result, error) {
 	r := &Result{
 		ID:    "maxrange",
@@ -369,37 +372,25 @@ func MaxRangeSweep(seed int64) (*Result, error) {
 		PaperClaim: "grass: no detection beyond ~20 m, ~80-85% at 10 m; pavement: most chirps " +
 			"to 35 m, some at 50 m, reliable ~25 m; higher thresholds cost little range",
 	}
-	distances := []float64{5, 10, 15, 20, 25, 30, 35, 40, 50}
+	distances := engine.DefaultMaxRangeDistances()
 	const trials = 40
+	// ShardSize 1 gives one worker per distance point; the figure reads
+	// only TrialScalars, which are trial-indexed and shard-size
+	// independent, so the output does not depend on this choice.
+	runner, err := engine.NewRunner(engine.Config{Seed: seed, ShardSize: 1, KeepTrialValues: true})
+	if err != nil {
+		return nil, err
+	}
 	for _, env := range []acoustics.Environment{acoustics.Grass(), acoustics.Pavement()} {
 		for _, thr := range []uint8{1, 2} {
-			var pts []SeriesPoint
-			for _, d := range distances {
-				rng := rand.New(rand.NewSource(seed + int64(d*7) + int64(thr)))
-				dep := &deploy.Deployment{
-					Name:      "pair",
-					Positions: []geom.Point{geom.Pt(0, 0), geom.Pt(d, 0)},
-				}
-				cfg := ranging.DefaultConfig(env)
-				cfg.MaxBufferRange = 55
-				cfg.DetectT = thr
-				cfg.Units.FaultProb = 0
-				svc, err := ranging.NewService(cfg, dep, rng)
-				if err != nil {
-					return nil, err
-				}
-				ok := 0
-				for i := 0; i < trials; i++ {
-					// Success means detecting the actual chirp: a detection
-					// that lands >3 m off is a false positive, which the
-					// lowest threshold is prone to (§3.6: "this also makes
-					// the ranging service more vulnerable to false
-					// positives").
-					if m, hit := svc.MeasurePair(0, 1); hit && math.Abs(m-d) <= 3 {
-						ok++
-					}
-				}
-				pts = append(pts, SeriesPoint{X: d, Y: float64(ok) / trials})
+			rep, err := runner.Run(engine.MaxRangeScenario(env, thr, distances, trials))
+			if err != nil {
+				return nil, err
+			}
+			rates := rep.TrialScalars["success_rate"]
+			pts := make([]SeriesPoint, len(distances))
+			for i, d := range distances {
+				pts[i] = SeriesPoint{X: d, Y: rates[i]}
 			}
 			r.Series = append(r.Series, Series{
 				Name:   fmt.Sprintf("%s T=%d success rate", env.Name, thr),

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10001)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		o.Add(xs[i])
+	}
+	mean, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	if o.N() != int64(len(xs)) {
+		t.Fatalf("N = %d, want %d", o.N(), len(xs))
+	}
+	if math.Abs(o.Mean()-mean) > 1e-9 {
+		t.Errorf("online mean %.12f, batch %.12f", o.Mean(), mean)
+	}
+	if math.Abs(o.StdDev()-sd) > 1e-9 {
+		t.Errorf("online std %.12f, batch %.12f", o.StdDev(), sd)
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	if o.Min() != lo || o.Max() != hi {
+		t.Errorf("extrema (%g, %g), want (%g, %g)", o.Min(), o.Max(), lo, hi)
+	}
+}
+
+func TestOnlineMergeMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 2
+	}
+	// Split into uneven shards, accumulate each, merge in order.
+	var merged Online
+	for _, bounds := range [][2]int{{0, 13}, {13, 13}, {13, 1700}, {1700, 5000}} {
+		var shard Online
+		for _, x := range xs[bounds[0]:bounds[1]] {
+			shard.Add(x)
+		}
+		merged.Merge(&shard)
+	}
+	mean, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	if math.Abs(merged.Mean()-mean) > 1e-9 {
+		t.Errorf("merged mean %.12f, batch %.12f", merged.Mean(), mean)
+	}
+	if math.Abs(merged.StdDev()-sd) > 1e-9 {
+		t.Errorf("merged std %.12f, batch %.12f", merged.StdDev(), sd)
+	}
+}
+
+func TestOnlineEmptyAndSingle(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.StdDev() != 0 || o.N() != 0 {
+		t.Error("empty accumulator not zero-valued")
+	}
+	o.Add(4.5)
+	if o.Mean() != 4.5 || o.Variance() != 0 || o.Min() != 4.5 || o.Max() != 4.5 {
+		t.Errorf("single-sample stats wrong: %+v", o)
+	}
+}
+
+func TestQuantileSketchAccuracy(t *testing.T) {
+	q, err := NewQuantileSketch(DefaultSketchAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		// Mixed-sign heavy-ish tail, plus exact zeros.
+		switch i % 5 {
+		case 0:
+			xs[i] = 0
+		case 1:
+			xs[i] = -rng.ExpFloat64() * 4
+		default:
+			xs[i] = rng.ExpFloat64() * 10
+		}
+		q.Add(xs[i])
+	}
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.9, 0.99} {
+		want, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Relative error bound plus a small absolute slack near zero.
+		tol := 0.03*math.Abs(want) + 0.02
+		if math.Abs(got-want) > tol {
+			t.Errorf("p=%.2f: sketch %.4f, exact %.4f (tol %.4f)", p, got, want, tol)
+		}
+	}
+}
+
+func TestQuantileSketchMergeIsExact(t *testing.T) {
+	whole, _ := NewQuantileSketch(DefaultSketchAlpha)
+	a, _ := NewQuantileSketch(DefaultSketchAlpha)
+	b, _ := NewQuantileSketch(DefaultSketchAlpha)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 4000; i++ {
+		x := rng.NormFloat64() * 5
+		whole.Add(x)
+		if i < 1500 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), whole.Count())
+	}
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		ga, _ := a.Quantile(p)
+		gw, _ := whole.Quantile(p)
+		if ga != gw {
+			t.Errorf("p=%.1f: merged %.6f != whole %.6f (merge must be exact)", p, ga, gw)
+		}
+	}
+}
+
+func TestQuantileSketchEdgeCases(t *testing.T) {
+	if _, err := NewQuantileSketch(0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	q, _ := NewQuantileSketch(0.01)
+	if _, err := q.Quantile(0.5); err == nil {
+		t.Error("empty sketch quantile succeeded")
+	}
+	q.Add(math.NaN())
+	if q.Count() != 0 {
+		t.Error("NaN counted")
+	}
+	q.Add(-2)
+	if _, err := q.Quantile(-0.1); err == nil {
+		t.Error("p < 0 accepted")
+	}
+	v, err := q.Quantile(0.5)
+	if err != nil || math.Abs(v+2) > 0.05 {
+		t.Errorf("single negative sample median %v (err %v), want ≈ -2", v, err)
+	}
+	other, _ := NewQuantileSketch(0.1)
+	if err := q.Merge(other); err == nil {
+		t.Error("mismatched-alpha merge accepted")
+	}
+}
