@@ -11,6 +11,7 @@ package resilientloc_test
 import (
 	"math"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"resilientloc/internal/core"
 	"resilientloc/internal/deploy"
 	"resilientloc/internal/engine"
+	enginerun "resilientloc/internal/engine/run"
 	"resilientloc/internal/eval"
 	"resilientloc/internal/experiments"
 	"resilientloc/internal/geom"
@@ -199,6 +201,68 @@ func benchScenarioRunner(b *testing.B, workers int) {
 
 func BenchmarkRunnerSerial(b *testing.B)   { benchScenarioRunner(b, 1) }
 func BenchmarkRunnerParallel(b *testing.B) { benchScenarioRunner(b, runtime.GOMAXPROCS(0)) }
+
+// --- Figure-suite benchmarks ---------------------------------------------
+
+// fastFigSuite is the subset of the figure suite cheap enough to regenerate
+// end-to-end each benchmark iteration (it excludes the multi-second LSS
+// grid/town minimizations but keeps every campaign shape: single-trial
+// figures and the 36-trial maxrange sweep).
+var fastFigSuite = []string{
+	"fig02", "fig04", "fig06", "fig07", "fig08", "fig10",
+	"maxrange", "fig11", "fig12", "fig14", "fig16", "fig20",
+}
+
+// benchFigSuite regenerates the fast figure subset through the engine
+// campaign path at the given worker count. Serial-vs-parallel timings track
+// the suite's wall-clock trajectory; output is identical at both.
+func benchFigSuite(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, id := range fastFigSuite {
+			e, ok := experiments.Find(id)
+			if !ok {
+				b.Fatalf("experiment %s not found", id)
+			}
+			if _, err := e.RunWorkers(1, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFigSuiteSerial(b *testing.B)   { benchFigSuite(b, 1) }
+func BenchmarkFigSuiteParallel(b *testing.B) { benchFigSuite(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkFigSuiteCacheHit measures a fully warmed suite pass through the
+// unified runner: every figure is served from the on-disk result cache with
+// zero trial computation, so this is the floor repeated suite runs pay.
+func BenchmarkFigSuiteCacheHit(b *testing.B) {
+	sess, err := enginerun.NewSession(enginerun.Options{Seed: 1, CacheDir: filepath.Join(b.TempDir(), "cache")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := func(requireHit bool) {
+		for _, id := range fastFigSuite {
+			e, ok := experiments.Find(id)
+			if !ok {
+				b.Fatalf("experiment %s not found", id)
+			}
+			_, info, err := enginerun.Execute(sess, e.Campaign)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if requireHit && !info.Cached {
+				b.Fatalf("%s missed the warm cache", id)
+			}
+		}
+	}
+	warm(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm(true)
+	}
+}
 
 // --- Ablation benchmarks -------------------------------------------------
 

@@ -1,34 +1,50 @@
 // Command experiments regenerates every figure of the paper's evaluation
-// and prints paper-claim-versus-measured results.
+// and prints paper-claim-versus-measured results. All figures execute
+// through the engine campaign path shared with cmd/scenarios: same worker
+// pool, same result cache, same streaming progress.
 //
 // Usage:
 //
-//	experiments [-seed N] [-only fig06,fig18]
+//	experiments [-seed N] [-only fig06,fig18] [-parallel W] [-json]
+//	            [-cache DIR | -no-cache] [-progress]
+//
+// Repeated runs hit the on-disk result cache (keyed by scenario, seed,
+// trial count, shard size, and a fingerprint of the binary) and skip all
+// trial computation; -no-cache forces recomputation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"resilientloc/internal/engine/run"
 	"resilientloc/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := realMain(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func realMain(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	seed := fs.Int64("seed", 1, "base random seed (experiments are deterministic per seed)")
+	var opts run.Options
+	opts.RegisterCommon(fs)
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit results as a JSON array")
+	progress := fs.Bool("progress", true, "stream per-figure trial progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *progress && !*asJSON {
+		opts.Progress = os.Stderr
 	}
 
 	var selected []experiments.Experiment
@@ -45,14 +61,31 @@ func run(args []string) error {
 		}
 	}
 
+	sess, err := run.NewSession(opts)
+	if err != nil {
+		return err
+	}
+
+	var results []*experiments.Result
 	for _, e := range selected {
-		start := time.Now()
-		res, err := e.Run(*seed)
+		res, info, err := run.Execute(sess, e.Campaign)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Print(res.Render())
-		fmt.Printf("  (elapsed: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		results = append(results, res)
+		if !*asJSON {
+			fmt.Fprint(out, res.Render())
+			status := fmt.Sprintf("elapsed: %v", info.Elapsed.Round(time.Millisecond))
+			if info.Cached {
+				status = "cached"
+			}
+			fmt.Fprintf(out, "  (%s)\n\n", status)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
 	}
 	return nil
 }

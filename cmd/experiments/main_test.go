@@ -1,23 +1,72 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilientloc/internal/experiments"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	// fig11 is the cheapest experiment; the full harness is exercised by
 	// the experiments package tests and benchmarks.
-	if err := run([]string{"-only", "fig11", "-seed", "2"}); err != nil {
+	var buf bytes.Buffer
+	if err := realMain([]string{"-only", "fig11", "-seed", "2", "-no-cache", "-progress=false"}, &buf); err != nil {
 		t.Fatal(err)
+	}
+	for _, want := range []string{"fig11", "error with consistency check", "elapsed"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain([]string{"-only", "fig11,fig20", "-seed", "2", "-no-cache", "-progress=false", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var results []*experiments.Result
+	if err := json.Unmarshal(buf.Bytes(), &results); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, buf.String())
+	}
+	if len(results) != 2 || results[0].ID != "fig11" || results[1].ID != "fig20" {
+		t.Errorf("unexpected JSON results: %+v", results)
+	}
+	if _, ok := results[0].Get("error with consistency check"); !ok {
+		t.Error("decoded result missing metric")
+	}
+}
+
+func TestRunCached(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	var first, second bytes.Buffer
+	if err := realMain([]string{"-only", "fig11", "-seed", "3", "-cache", dir, "-progress=false"}, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain([]string{"-only", "fig11", "-seed", "3", "-cache", dir, "-progress=false"}, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "(cached)") {
+		t.Errorf("second run not served from cache:\n%s", second.String())
+	}
+	trim := func(s string) string { return s[:strings.Index(s, "  (")] }
+	if trim(first.String()) != trim(second.String()) {
+		t.Errorf("cached output differs:\n%s\nvs:\n%s", first.String(), second.String())
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-only", "fig99"}); err == nil {
+	if err := realMain([]string{"-only", "fig99"}, &bytes.Buffer{}); err == nil {
 		t.Error("want error for unknown experiment")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if err := realMain([]string{"-definitely-not-a-flag"}, &bytes.Buffer{}); err == nil {
 		t.Error("want error for unknown flag")
 	}
 }

@@ -1,15 +1,20 @@
 // Command scenarios lists and runs the scenario library on the concurrent
-// execution engine.
+// execution engine, through the same unified campaign runner (worker pool,
+// result cache, streaming progress) as cmd/experiments.
 //
 // Usage:
 //
 //	scenarios -list
 //	scenarios -run multilat-town,ranging-grass-refined [-trials N] [-parallel W] [-seed S] [-json]
 //	scenarios -suite multilat [-json]
-//	scenarios -run all
+//	scenarios -run all [-cache DIR | -no-cache] [-progress]
 //
 // All metric aggregates are deterministic per seed at any -parallel value
-// (only the reported worker count and elapsed time vary).
+// (only the reported worker count and elapsed time vary), which is what
+// makes results cacheable: repeated runs with the same scenario, seed,
+// trial count, and binary are served from the on-disk cache with zero trial
+// computation. Reports stream as each scenario finishes; -progress adds a
+// per-scenario trials-completed counter on stderr for long sweeps.
 package main
 
 import (
@@ -21,7 +26,12 @@ import (
 	"strings"
 
 	"resilientloc/internal/engine"
+	enginerun "resilientloc/internal/engine/run"
 )
+
+// progressWriter receives the streaming trial counters; a variable so tests
+// can capture it.
+var progressWriter io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -32,15 +42,20 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	var opts enginerun.Options
+	opts.RegisterCommon(fs)
+	opts.RegisterTrials(fs)
+	opts.RegisterShardSize(fs)
 	list := fs.Bool("list", false, "list scenarios and suites, then exit")
 	runNames := fs.String("run", "", "comma-separated scenario names to run, or \"all\"")
 	suite := fs.String("suite", "", "run every scenario of the named suite")
-	trials := fs.Int("trials", 0, "override each scenario's default trial count")
-	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
-	seed := fs.Int64("seed", 1, "scenario seed (runs are deterministic per seed)")
 	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
+	progress := fs.Bool("progress", true, "stream per-scenario trial progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *progress && !*asJSON {
+		opts.Progress = progressWriter
 	}
 
 	if *list || (*runNames == "" && *suite == "") {
@@ -51,24 +66,20 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	runner, err := engine.NewRunner(engine.Config{
-		Workers: *parallel,
-		Trials:  *trials,
-		Seed:    *seed,
-	})
+	sess, err := enginerun.NewSession(opts)
 	if err != nil {
 		return err
 	}
 
 	var reports []*engine.Report
 	for _, s := range selected {
-		rep, err := runner.Run(s)
+		rep, info, err := enginerun.ExecuteScenario(sess, s)
 		if err != nil {
 			return err
 		}
 		reports = append(reports, rep)
 		if !*asJSON {
-			printReport(out, rep)
+			printReport(out, rep, info.Cached)
 		}
 	}
 	if *asJSON {
@@ -115,9 +126,15 @@ func printList(out io.Writer) error {
 	return nil
 }
 
-func printReport(out io.Writer, rep *engine.Report) {
-	fmt.Fprintf(out, "== %s: %d trials, seed %d, %d workers, %.2fs ==\n",
-		rep.Scenario, rep.Trials, rep.Seed, rep.Workers, rep.ElapsedSeconds)
+func printReport(out io.Writer, rep *engine.Report, cached bool) {
+	// On a cache hit the stored report's workers/elapsed describe the run
+	// that filled the cache, not this invocation — say "cached" instead.
+	how := fmt.Sprintf("%d workers, %.2fs", rep.Workers, rep.ElapsedSeconds)
+	if cached {
+		how = "cached"
+	}
+	fmt.Fprintf(out, "== %s: %d trials, seed %d, %s ==\n",
+		rep.Scenario, rep.Trials, rep.Seed, how)
 	fmt.Fprintf(out, "  %-22s %7s %10s %10s %10s %10s %10s\n",
 		"metric", "count", "mean", "std", "p50", "p90", "max")
 	for _, m := range rep.Metrics {

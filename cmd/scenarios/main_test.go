@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestListOutput(t *testing.T) {
 
 func TestRunScenarioTextAndJSON(t *testing.T) {
 	var text bytes.Buffer
-	err := run([]string{"-run", "multilat-town", "-trials", "3", "-seed", "2", "-parallel", "2"}, &text)
+	err := run([]string{"-run", "multilat-town", "-trials", "3", "-seed", "2", "-parallel", "2", "-no-cache"}, &text)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestRunScenarioTextAndJSON(t *testing.T) {
 	}
 
 	var jsonBuf bytes.Buffer
-	err = run([]string{"-run", "multilat-town", "-trials", "3", "-seed", "2", "-json"}, &jsonBuf)
+	err = run([]string{"-run", "multilat-town", "-trials", "3", "-seed", "2", "-json", "-no-cache"}, &jsonBuf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestRunScenarioTextAndJSON(t *testing.T) {
 func TestRunSuite(t *testing.T) {
 	var buf bytes.Buffer
 	// The multilat suite is the cheapest that exercises several scenarios.
-	err := run([]string{"-suite", "multilat", "-trials", "2", "-seed", "3"}, &buf)
+	err := run([]string{"-suite", "multilat", "-trials", "2", "-seed", "3", "-no-cache"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,6 +60,33 @@ func TestRunSuite(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("suite output missing %q", want)
 		}
+	}
+}
+
+func TestRunCachedScenario(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	args := []string{"-run", "multilat-town", "-trials", "2", "-seed", "4", "-cache", dir}
+	var first, second bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), ", cached ==") {
+		t.Errorf("second run not served from cache:\n%s", second.String())
+	}
+	// A streamed progress counter reaches the progress writer.
+	var progress bytes.Buffer
+	prev := progressWriter
+	progressWriter = &progress
+	defer func() { progressWriter = prev }()
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "multilat-town", "-trials", "2", "-seed", "5", "-no-cache"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(progress.String(), "2/2 trials") {
+		t.Errorf("progress stream missing trial counter: %q", progress.String())
 	}
 }
 

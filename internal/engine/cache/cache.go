@@ -1,0 +1,153 @@
+// Package cache is the engine's content-addressed on-disk result cache.
+// A campaign result is stored under the SHA-256 of its Key — (scenario ID,
+// seed, trials, shard size, code fingerprint) — which is exactly the set of
+// inputs the engine's determinism contract says the result is a pure
+// function of. Repeated suite runs therefore skip unchanged work entirely,
+// and any change to the binary (the code fingerprint) or to the run
+// parameters misses cleanly instead of serving stale data.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key identifies one deterministic campaign execution.
+type Key struct {
+	Scenario    string `json:"scenario"`
+	Seed        int64  `json:"seed"`
+	Trials      int    `json:"trials"`
+	ShardSize   int    `json:"shard_size"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Hash returns the key's content address: the hex SHA-256 of its canonical
+// JSON encoding.
+func (k Key) Hash() string {
+	b, err := json.Marshal(k)
+	if err != nil {
+		// Key is a struct of strings and integers; Marshal cannot fail.
+		panic(fmt.Sprintf("cache: marshal key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+var (
+	fingerprintOnce sync.Once
+	fingerprint     string
+)
+
+// Fingerprint returns a digest of the running executable, computed once per
+// process. Any rebuild of the binary changes it, so cached results can never
+// outlive the code that produced them. If the executable cannot be read the
+// fingerprint is "unknown", which still caches consistently within rebuilds
+// of the same path but is shared across them — the conservative failure mode
+// is a possible stale hit only on platforms without os.Executable support.
+func Fingerprint() string {
+	fingerprintOnce.Do(func() {
+		fingerprint = "unknown"
+		exe, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		fingerprint = hex.EncodeToString(h.Sum(nil))[:16]
+	})
+	return fingerprint
+}
+
+// Cache is an on-disk store of JSON-encoded campaign results.
+type Cache struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the stored file format: the full key rides along with the value
+// so entries are self-describing and hash collisions are detected instead
+// of trusted.
+type entry struct {
+	Key   Key             `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+func (c *Cache) path(k Key) string {
+	return filepath.Join(c.dir, k.Hash()+".json")
+}
+
+// Get looks up k and, on a hit, JSON-decodes the stored value into out
+// (which must be a pointer). The boolean reports whether a valid entry was
+// found; a missing or unreadable entry is a miss, not an error.
+func (c *Cache) Get(k Key, out any) (bool, error) {
+	b, err := os.ReadFile(c.path(k))
+	if err != nil {
+		return false, nil
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return false, nil // corrupt entry: treat as a miss
+	}
+	if e.Key != k {
+		return false, nil // hash collision or tampering: recompute
+	}
+	if err := json.Unmarshal(e.Value, out); err != nil {
+		return false, fmt.Errorf("cache: decode value for %s: %w", k.Scenario, err)
+	}
+	return true, nil
+}
+
+// Put stores v under k, writing atomically (temp file + rename) so readers
+// never observe a partial entry.
+func (c *Cache) Put(k Key, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cache: encode value for %s: %w", k.Scenario, err)
+	}
+	b, err := json.Marshal(entry{Key: k, Value: raw})
+	if err != nil {
+		return fmt.Errorf("cache: encode entry for %s: %w", k.Scenario, err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(k)); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testKey() Key {
+	return Key{Scenario: "s", Seed: 1, Trials: 8, ShardSize: 2, Fingerprint: "abc"}
+}
+
+func TestKeyHashSensitivity(t *testing.T) {
+	base := testKey()
+	baseHash := base.Hash()
+	if baseHash != base.Hash() {
+		t.Fatal("hash not stable")
+	}
+	variants := map[string]Key{
+		"scenario":    {Scenario: "other", Seed: 1, Trials: 8, ShardSize: 2, Fingerprint: "abc"},
+		"seed":        {Scenario: "s", Seed: 2, Trials: 8, ShardSize: 2, Fingerprint: "abc"},
+		"trials":      {Scenario: "s", Seed: 1, Trials: 9, ShardSize: 2, Fingerprint: "abc"},
+		"shard size":  {Scenario: "s", Seed: 1, Trials: 8, ShardSize: 3, Fingerprint: "abc"},
+		"fingerprint": {Scenario: "s", Seed: 1, Trials: 8, ShardSize: 2, Fingerprint: "xyz"},
+	}
+	for field, k := range variants {
+		if k.Hash() == baseHash {
+			t.Errorf("changing %s did not change the key hash", field)
+		}
+	}
+}
+
+type payload struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	want := payload{Name: "x", Values: []float64{1.5, -2.25, 0.1}}
+	if hit, err := c.Get(k, &payload{}); err != nil || hit {
+		t.Fatalf("empty cache: hit=%v err=%v", hit, err)
+	}
+	if err := c.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	hit, err := c.Get(k, &got)
+	if err != nil || !hit {
+		t.Fatalf("after Put: hit=%v err=%v", hit, err)
+	}
+	if got.Name != want.Name || len(got.Values) != len(want.Values) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	for i := range want.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Errorf("value %d: %v != %v (float round trip must be exact)", i, got.Values[i], want.Values[i])
+		}
+	}
+
+	// A different key misses even though an entry exists.
+	other := k
+	other.Seed = 99
+	if hit, _ := c.Get(other, &payload{}); hit {
+		t.Error("different seed hit the same entry")
+	}
+}
+
+func TestCorruptEntryIsMiss(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	if err := c.Put(k, payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, k.Hash()+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if hit, err := c.Get(k, &payload{}); err != nil || hit {
+		t.Errorf("corrupt entry: hit=%v err=%v, want clean miss", hit, err)
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := Fingerprint(), Fingerprint()
+	if a == "" || a != b {
+		t.Errorf("fingerprint unstable: %q vs %q", a, b)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("want error for empty cache dir")
+	}
+}

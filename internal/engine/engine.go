@@ -103,6 +103,7 @@ type T struct {
 
 	scalars []sample
 	series  []seriesSample
+	output  any
 }
 
 type sample struct {
@@ -129,4 +130,12 @@ func (t *T) Record(name string, v float64) {
 // pad shorter histories before recording.
 func (t *T) RecordSeries(name string, values []float64) {
 	t.series = append(t.series, seriesSample{name: name, values: append([]float64(nil), values...)})
+}
+
+// Keep retains an arbitrary per-trial output value, surfaced (only under
+// Config.KeepTrialValues) as Report.TrialOutputs[t.Trial]. Campaigns whose
+// trials build structured results — e.g. a whole figure Result — hand them
+// to their Finalize step this way. Calling Keep again replaces the value.
+func (t *T) Keep(v any) {
+	t.output = v
 }

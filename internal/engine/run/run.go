@@ -1,0 +1,213 @@
+// Package run is the unified campaign runner shared by cmd/experiments and
+// cmd/scenarios: one place for the common CLI flags, the on-disk result
+// cache, streaming trial progress, and campaign execution. Both CLIs build
+// engine Campaigns (figure reproductions as Campaign[*experiments.Result],
+// library scenarios via engine.ReportCampaign) and hand them to Execute; the
+// session decides whether the cache already holds the answer.
+package run
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/cache"
+)
+
+// Options carries the execution parameters common to every campaign CLI.
+type Options struct {
+	// Trials overrides each scenario's default trial count when positive.
+	Trials int
+	// Workers is the engine worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// Seed is the base seed; all runs are deterministic per seed.
+	Seed int64
+	// ShardSize overrides the engine's default shard partition when
+	// positive. Aggregates are a pure function of (seed, trials, shard
+	// size), so it is part of every cache key.
+	ShardSize int
+	// CacheDir is the result-cache directory; empty selects DefaultCacheDir.
+	CacheDir string
+	// NoCache disables the result cache entirely.
+	NoCache bool
+	// Progress, when non-nil, receives a streaming trials-completed counter
+	// for each campaign as its shards finish.
+	Progress io.Writer
+}
+
+// RegisterCommon registers the flags shared by every campaign CLI:
+// -parallel, -seed, -cache, -no-cache. Flags whose applicability varies
+// (like -trials) have their own Register helpers.
+func (o *Options) RegisterCommon(fs *flag.FlagSet) {
+	fs.IntVar(&o.Workers, "parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	fs.Int64Var(&o.Seed, "seed", 1, "base random seed (runs are deterministic per seed)")
+	fs.StringVar(&o.CacheDir, "cache", "", "result cache directory (default: the per-user cache dir)")
+	fs.BoolVar(&o.NoCache, "no-cache", false, "disable the on-disk result cache")
+}
+
+// RegisterTrials registers the -trials override. Scenario CLIs expose it;
+// the figure CLI does not, because a figure's trial structure is part of its
+// definition.
+func (o *Options) RegisterTrials(fs *flag.FlagSet) {
+	fs.IntVar(&o.Trials, "trials", 0, "override each scenario's default trial count")
+}
+
+// RegisterShardSize registers the -shard-size override. It pairs with
+// RegisterTrials on scenario CLIs; figure campaigns pin their own shard
+// partitions, so the figure CLI registers neither.
+func (o *Options) RegisterShardSize(fs *flag.FlagSet) {
+	fs.IntVar(&o.ShardSize, "shard-size", 0, "trials per aggregation shard (0 = engine default)")
+}
+
+// DefaultCacheDir returns the per-user cache directory, or "" when the
+// platform provides none (caching is then disabled rather than failing).
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "resilientloc")
+}
+
+// Session executes campaigns under one set of Options, tracking cache use
+// and the number of trials actually computed.
+type Session struct {
+	opts           Options
+	cache          *cache.Cache
+	trialsExecuted int
+}
+
+// NewSession validates the options and opens the result cache (unless
+// disabled). An unusable default cache directory degrades to cache-off; an
+// explicitly requested directory that cannot be opened is an error.
+func NewSession(opts Options) (*Session, error) {
+	s := &Session{opts: opts}
+	// Validate the engine configuration eagerly so flag errors surface
+	// before any campaign runs.
+	if _, err := engine.NewRunner(s.engineConfig(nil)); err != nil {
+		return nil, err
+	}
+	if opts.NoCache {
+		return s, nil
+	}
+	dir := opts.CacheDir
+	explicit := dir != ""
+	if !explicit {
+		dir = DefaultCacheDir()
+		if dir == "" {
+			return s, nil
+		}
+	}
+	c, err := cache.Open(dir)
+	if err != nil {
+		if explicit {
+			return nil, err
+		}
+		return s, nil
+	}
+	s.cache = c
+	return s, nil
+}
+
+// TrialsExecuted reports how many trials this session actually computed;
+// cache hits contribute zero.
+func (s *Session) TrialsExecuted() int { return s.trialsExecuted }
+
+// CacheDir returns the directory of the session's cache, or "" when caching
+// is off.
+func (s *Session) CacheDir() string {
+	if s.cache == nil {
+		return ""
+	}
+	return s.cache.Dir()
+}
+
+// Info describes how one campaign execution was satisfied.
+type Info struct {
+	// Cached reports that the result came from the cache with no trial
+	// computation.
+	Cached bool
+	// Trials is the effective trial count of the (possibly skipped) run.
+	Trials int
+	// Elapsed is the wall time of this execution, including cache lookup.
+	Elapsed time.Duration
+}
+
+func (s *Session) engineConfig(progress func(done, total int)) engine.Config {
+	return engine.Config{
+		Workers:   s.opts.Workers,
+		Trials:    s.opts.Trials,
+		Seed:      s.opts.Seed,
+		ShardSize: s.opts.ShardSize,
+		Progress:  progress,
+	}
+}
+
+// progressFunc builds the engine progress callback streaming a
+// trials-completed counter line for the named campaign.
+func (s *Session) progressFunc(name string) func(done, total int) {
+	w := s.opts.Progress
+	if w == nil {
+		return nil
+	}
+	return func(done, total int) {
+		fmt.Fprintf(w, "\r%-28s %4d/%d trials", name, done, total)
+		if done == total {
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Execute runs one campaign through the session: build is invoked with the
+// session's seed (so a campaign can never be computed for one seed and
+// cached under another), then a cache hit returns the stored result with
+// zero trial computation, and a miss runs the campaign on the engine and
+// stores the result.
+func Execute[R any](s *Session, build func(seed int64) engine.Campaign[R]) (R, Info, error) {
+	var zero R
+	start := time.Now()
+	c := build(s.opts.Seed)
+	runner, err := engine.NewRunner(s.engineConfig(s.progressFunc(c.Scenario.Name)))
+	if err != nil {
+		return zero, Info{}, err
+	}
+	trials, shardSize := engine.CampaignConfig(runner, c)
+	var key cache.Key
+	if s.cache != nil {
+		// The key (and the whole-binary fingerprint it embeds) is only
+		// worth computing when a cache exists to consult.
+		key = cache.Key{
+			Scenario:    c.Scenario.Name,
+			Seed:        s.opts.Seed,
+			Trials:      trials,
+			ShardSize:   shardSize,
+			Fingerprint: cache.Fingerprint(),
+		}
+		var res R
+		if hit, err := s.cache.Get(key, &res); err == nil && hit {
+			return res, Info{Cached: true, Trials: trials, Elapsed: time.Since(start)}, nil
+		}
+	}
+	res, rep, err := engine.RunCampaign(runner, c)
+	if err != nil {
+		return zero, Info{}, err
+	}
+	s.trialsExecuted += rep.Trials
+	if s.cache != nil {
+		// Best-effort: a full disk or unwritable directory must not fail
+		// the run whose result we already hold.
+		_ = s.cache.Put(key, res)
+	}
+	return res, Info{Trials: rep.Trials, Elapsed: time.Since(start)}, nil
+}
+
+// ExecuteScenario runs a library scenario through the session as a report
+// campaign (scenarios take their seed from the engine configuration, so the
+// builder is seed-independent).
+func ExecuteScenario(s *Session, sc engine.Scenario) (*engine.Report, Info, error) {
+	return Execute(s, func(int64) engine.Campaign[*engine.Report] { return engine.ReportCampaign(sc) })
+}

@@ -1,0 +1,166 @@
+package run_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/run"
+	"resilientloc/internal/experiments"
+)
+
+// fastFigs is a small cross-section of the figure suite: two single-trial
+// figures and the 36-trial maxrange sweep; together with the library
+// scenario below they cover every campaign shape the unified runner serves.
+var fastFigs = []string{"fig11", "fig20", "maxrange"}
+
+func newSession(t *testing.T, dir string) *run.Session {
+	t.Helper()
+	s, err := run.NewSession(run.Options{Seed: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCachedSuiteRunComputesNothing is the acceptance check for the result
+// cache: a second suite run over the same (scenario, seed, trials, shard
+// size, binary) performs zero trial computation and returns byte-identical
+// figure output.
+func TestCachedSuiteRunComputesNothing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+
+	first := newSession(t, dir)
+	firstOut := map[string]string{}
+	for _, id := range fastFigs {
+		e, ok := experiments.Find(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		res, info, err := run.Execute(first, e.Campaign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Cached {
+			t.Fatalf("%s: first run claims to be cached", id)
+		}
+		firstOut[id] = res.Render()
+	}
+	sc, _ := engine.Find("multilat-town")
+	if _, info, err := run.ExecuteScenario(first, sc); err != nil || info.Cached {
+		t.Fatalf("scenario first run: cached=%v err=%v", info.Cached, err)
+	}
+	if first.TrialsExecuted() == 0 {
+		t.Fatal("first session executed no trials")
+	}
+
+	second := newSession(t, dir)
+	for _, id := range fastFigs {
+		e, _ := experiments.Find(id)
+		res, info, err := run.Execute(second, e.Campaign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Cached {
+			t.Errorf("%s: second run missed the cache", id)
+		}
+		if res.Render() != firstOut[id] {
+			t.Errorf("%s: cached bytes differ\n--- first ---\n%s--- second ---\n%s", id, firstOut[id], res.Render())
+		}
+	}
+	rep, info, err := run.ExecuteScenario(second, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Cached || rep.Scenario != "multilat-town" {
+		t.Errorf("scenario second run: cached=%v scenario=%q", info.Cached, rep.Scenario)
+	}
+	if got := second.TrialsExecuted(); got != 0 {
+		t.Errorf("cached suite run computed %d trials, want 0", got)
+	}
+}
+
+// TestCacheKeyedOnParameters verifies that seed, trial count, and shard size
+// each miss the cache instead of serving a stale result.
+func TestCacheKeyedOnParameters(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	sc, _ := engine.Find("multilat-town")
+
+	base := run.Options{Seed: 1, Trials: 2, CacheDir: dir}
+	variants := map[string]run.Options{
+		"same":       base,
+		"seed":       {Seed: 2, Trials: 2, CacheDir: dir},
+		"trials":     {Seed: 1, Trials: 3, CacheDir: dir},
+		"shard size": {Seed: 1, Trials: 2, CacheDir: dir, ShardSize: 1},
+	}
+
+	s, err := run.NewSession(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := run.ExecuteScenario(s, sc); err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range variants {
+		s2, err := run.NewSession(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, info, err := run.ExecuteScenario(s2, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "same" && !info.Cached {
+			t.Error("identical parameters missed the cache")
+		}
+		if name != "same" && info.Cached {
+			t.Errorf("changed %s but hit the cache", name)
+		}
+	}
+}
+
+func TestNoCacheDisablesCaching(t *testing.T) {
+	s, err := run.NewSession(run.Options{Seed: 1, Trials: 2, NoCache: true, CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheDir() != "" {
+		t.Errorf("NoCache session still has cache dir %q", s.CacheDir())
+	}
+	sc, _ := engine.Find("multilat-town")
+	for i := 0; i < 2; i++ {
+		if _, info, err := run.ExecuteScenario(s, sc); err != nil || info.Cached {
+			t.Fatalf("run %d: cached=%v err=%v", i, info.Cached, err)
+		}
+	}
+	if s.TrialsExecuted() != 4 {
+		t.Errorf("trials executed %d, want 4", s.TrialsExecuted())
+	}
+}
+
+func TestProgressStream(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := run.NewSession(run.Options{Seed: 1, Trials: 4, NoCache: true, Progress: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := engine.Find("multilat-town")
+	if _, _, err := run.ExecuteScenario(s, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "multilat-town") || !strings.Contains(out, "4/4 trials") {
+		t.Errorf("progress stream incomplete: %q", out)
+	}
+}
+
+func TestSessionRejectsBadOptions(t *testing.T) {
+	if _, err := run.NewSession(run.Options{Workers: -1}); err == nil {
+		t.Error("want error for negative workers")
+	}
+	if _, err := run.NewSession(run.Options{Trials: -1}); err == nil {
+		t.Error("want error for negative trials")
+	}
+}

@@ -28,9 +28,37 @@ type Config struct {
 	// a deterministic function of (seed, trials, shard size) only.
 	ShardSize int
 	// KeepTrialValues retains per-trial metric values (Report.TrialScalars,
-	// Report.TrialSeries) in addition to the streaming aggregates. Figure
-	// reproductions use this when they need trial-ordered data.
+	// Report.TrialSeries, Report.TrialOutputs) in addition to the streaming
+	// aggregates. Figure reproductions use this when they need trial-ordered
+	// data.
 	KeepTrialValues bool
+	// Progress, when non-nil, is called after each shard finishes with the
+	// cumulative number of completed trials and the total. Calls are
+	// serialized but arrive in shard-completion order, which depends on
+	// scheduling; done is monotonically non-decreasing across calls.
+	Progress func(done, total int)
+}
+
+// EffectiveTrials resolves the trial count one Run of s would execute: the
+// Config override when positive, else the scenario default, capped by the
+// scenario's MaxTrials. Cache keys are derived from this resolved value.
+func (c Config) EffectiveTrials(s Scenario) int {
+	trials := c.Trials
+	if trials == 0 {
+		trials = s.Trials
+	}
+	if s.MaxTrials > 0 && trials > s.MaxTrials {
+		trials = s.MaxTrials
+	}
+	return trials
+}
+
+// EffectiveShardSize resolves the shard size a Run would use.
+func (c Config) EffectiveShardSize() int {
+	if c.ShardSize > 0 {
+		return c.ShardSize
+	}
+	return DefaultShardSize
 }
 
 // Runner executes scenarios by sharding their trials across a worker pool.
@@ -86,10 +114,13 @@ type Report struct {
 
 	// TrialScalars maps a metric name to its last recorded value per trial
 	// (NaN where a trial recorded none); TrialSeries likewise holds each
-	// trial's recorded series (nil where absent). Both are populated only
-	// under Config.KeepTrialValues and are excluded from JSON.
+	// trial's recorded series (nil where absent); TrialOutputs holds each
+	// trial's T.Keep value (nil where none was kept). All three are
+	// populated only under Config.KeepTrialValues and are excluded from
+	// JSON.
 	TrialScalars map[string][]float64   `json:"-"`
 	TrialSeries  map[string][][]float64 `json:"-"`
+	TrialOutputs []any                  `json:"-"`
 }
 
 // Metric returns the summary of the named metric, if present.
@@ -143,6 +174,7 @@ type shardAgg struct {
 
 	trialScalars map[string][]float64   // per-trial last value, len hi-lo
 	trialSeries  map[string][][]float64 // per-trial series, len hi-lo
+	trialOutputs []any                  // per-trial T.Keep value, len hi-lo
 
 	err      error // first trial error in this shard
 	errTrial int
@@ -158,6 +190,7 @@ func runShard(s Scenario, seed int64, lo, hi int, keep bool) *shardAgg {
 	if keep {
 		agg.trialScalars = make(map[string][]float64)
 		agg.trialSeries = make(map[string][][]float64)
+		agg.trialOutputs = make([]any, hi-lo)
 	}
 	for trial := lo; trial < hi; trial++ {
 		t := &T{Trial: trial, RNG: newTrialRNG(s, seed, trial)}
@@ -176,6 +209,9 @@ func runShard(s Scenario, seed int64, lo, hi int, keep bool) *shardAgg {
 }
 
 func (agg *shardAgg) fold(t *T, keep bool) error {
+	if keep && t.output != nil {
+		agg.trialOutputs[t.Trial-agg.lo] = t.output
+	}
 	for _, smp := range t.scalars {
 		a, ok := agg.scalars[smp.name]
 		if !ok {
@@ -241,20 +277,11 @@ func (r *Runner) Run(s Scenario) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	trials := r.cfg.Trials
-	if trials == 0 {
-		trials = s.Trials
-	}
-	if s.MaxTrials > 0 && trials > s.MaxTrials {
-		trials = s.MaxTrials
-	}
+	trials := r.cfg.EffectiveTrials(s)
 	if trials <= 0 {
 		return nil, fmt.Errorf("engine: scenario %s: no trial count configured", s.Name)
 	}
-	shardSize := r.cfg.ShardSize
-	if shardSize == 0 {
-		shardSize = DefaultShardSize
-	}
+	shardSize := r.cfg.EffectiveShardSize()
 	workers := r.cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -267,7 +294,11 @@ func (r *Runner) Run(s Scenario) (*Report, error) {
 	start := time.Now()
 	aggs := make([]*shardAgg, numShards)
 	jobs := make(chan int)
-	var wg sync.WaitGroup
+	var (
+		wg         sync.WaitGroup
+		progressMu sync.Mutex
+		done       int
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -279,6 +310,18 @@ func (r *Runner) Run(s Scenario) (*Report, error) {
 					hi = trials
 				}
 				aggs[si] = runShard(s, r.cfg.Seed, lo, hi, r.cfg.KeepTrialValues)
+				if r.cfg.Progress != nil {
+					completed := hi - lo
+					if aggs[si].err != nil {
+						// The failing trial and the rest of its shard never
+						// completed; don't over-report.
+						completed = aggs[si].errTrial - lo
+					}
+					progressMu.Lock()
+					done += completed
+					r.cfg.Progress(done, trials)
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -323,6 +366,7 @@ func mergeShards(s Scenario, aggs []*shardAgg, trials int, cfg Config) (*Report,
 	if cfg.KeepTrialValues {
 		rep.TrialScalars = make(map[string][]float64)
 		rep.TrialSeries = make(map[string][][]float64)
+		rep.TrialOutputs = make([]any, trials)
 	}
 
 	for _, a := range aggs {
@@ -366,6 +410,7 @@ func mergeShards(s Scenario, aggs []*shardAgg, trials int, cfg Config) (*Report,
 				}
 				copy(rep.TrialSeries[name][a.lo:a.hi], rows)
 			}
+			copy(rep.TrialOutputs[a.lo:a.hi], a.trialOutputs)
 		}
 	}
 

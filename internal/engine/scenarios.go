@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"math"
+	"math/rand"
+	"sync"
 
 	"resilientloc/internal/acoustics"
 	"resilientloc/internal/core"
@@ -30,14 +32,23 @@ func Library() []Scenario {
 	return all
 }
 
-// Find returns the library scenario with the given name.
+var (
+	libraryOnce  sync.Once
+	libraryIndex map[string]Scenario
+)
+
+// Find returns the library scenario with the given name via a map-backed
+// index built once per process.
 func Find(name string) (Scenario, bool) {
-	for _, s := range Library() {
-		if s.Name == name {
-			return s, true
+	libraryOnce.Do(func() {
+		lib := Library()
+		libraryIndex = make(map[string]Scenario, len(lib))
+		for _, s := range lib {
+			libraryIndex[s.Name] = s
 		}
-	}
-	return Scenario{}, false
+	})
+	s, ok := libraryIndex[name]
+	return s, ok
 }
 
 // Suite is a named group of related scenarios, runnable together from
@@ -97,14 +108,9 @@ func FindSuite(name string) (Suite, bool) {
 // recordSignedErrors reports every directed reading's measured-minus-true
 // error and the per-trial robust summaries.
 func recordSignedErrors(t *T, raw *measure.Raw, dep *deploy.Deployment) error {
-	var errs []float64
-	for _, k := range raw.DirectedPairs() {
-		truth := dep.Positions[k[0]].Dist(dep.Positions[k[1]])
-		for _, d := range raw.Readings(k[0], k[1]) {
-			e := d - truth
-			errs = append(errs, e)
-			t.Record("signed_error_m", e)
-		}
+	errs := raw.SignedErrors(dep)
+	for _, e := range errs {
+		t.Record("signed_error_m", e)
 	}
 	if len(errs) == 0 {
 		return fmt.Errorf("campaign produced no readings")
@@ -240,31 +246,43 @@ func MaxRangeScenario(env acoustics.Environment, detectT uint8, distances []floa
 		},
 		Run: func(t *T) error {
 			d := distances[t.Trial]
-			dep := &deploy.Deployment{
-				Name:      "pair",
-				Positions: []geom.Point{geom.Pt(0, 0), geom.Pt(d, 0)},
-			}
-			cfg := ranging.DefaultConfig(env)
-			cfg.MaxBufferRange = 55
-			cfg.DetectT = detectT
-			cfg.Units.FaultProb = 0
-			svc, err := ranging.NewService(cfg, dep, t.RNG)
+			rate, err := MaxRangePoint(env, detectT, d, trialsPerPoint, t.RNG)
 			if err != nil {
 				return err
 			}
-			ok := 0
-			for i := 0; i < trialsPerPoint; i++ {
-				// Success means detecting the actual chirp: a detection >3 m
-				// off is a false positive (§3.6).
-				if m, hit := svc.MeasurePair(0, 1); hit && math.Abs(m-d) <= 3 {
-					ok++
-				}
-			}
 			t.Record("distance_m", d)
-			t.Record("success_rate", float64(ok)/float64(trialsPerPoint))
+			t.Record("success_rate", rate)
 			return nil
 		},
 	}
+}
+
+// MaxRangePoint measures one (environment, threshold, distance) point of the
+// §3.6.2 sweep: the detection success rate of a single pair at distance d
+// over `rounds` measurement attempts. Shared by the library scenario above
+// and the maxrange figure campaign so both sweep exactly the same code.
+func MaxRangePoint(env acoustics.Environment, detectT uint8, d float64, rounds int, rng *rand.Rand) (float64, error) {
+	dep := &deploy.Deployment{
+		Name:      "pair",
+		Positions: []geom.Point{geom.Pt(0, 0), geom.Pt(d, 0)},
+	}
+	cfg := ranging.DefaultConfig(env)
+	cfg.MaxBufferRange = 55
+	cfg.DetectT = detectT
+	cfg.Units.FaultProb = 0
+	svc, err := ranging.NewService(cfg, dep, rng)
+	if err != nil {
+		return 0, err
+	}
+	ok := 0
+	for i := 0; i < rounds; i++ {
+		// Success means detecting the actual chirp: a detection >3 m off is
+		// a false positive (§3.6).
+		if m, hit := svc.MeasurePair(0, 1); hit && math.Abs(m-d) <= 3 {
+			ok++
+		}
+	}
+	return float64(ok) / float64(rounds), nil
 }
 
 // townMultilat builds a fresh town deployment, measures all pairs within

@@ -4,11 +4,25 @@
 // Each experiment is a deterministic function of its seed and returns a
 // Result that records the paper's claim next to the measured reproduction,
 // so cmd/experiments and EXPERIMENTS.md can print paper-vs-measured tables.
+//
+// Every experiment executes through the engine campaign path: an Experiment
+// is a builder of an engine.Campaign[*Result] whose trials carry the
+// figure's Monte Carlo structure (one trial for single-shot figures, one
+// trial per sweep point or optimizer descent for the ensemble figures) and
+// whose Finalize assembles the Result from the shard-merged report. Seed
+// derivation in each campaign reproduces the original serial generators'
+// arithmetic, so figure output is byte-identical to the pre-engine code at
+// every seed and worker count (pinned by the golden tests).
 package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
+	"sync"
+
+	"resilientloc/internal/engine"
+	"resilientloc/internal/stats"
 )
 
 // Metric is one named measured quantity.
@@ -37,21 +51,35 @@ type Result struct {
 	Metrics    []Metric
 	Series     []Series
 	Notes      string
+
+	// index maps metric name to its position in Metrics; maintained by Add
+	// and rebuilt lazily by Get when stale (e.g. after JSON decoding).
+	index map[string]int
 }
 
 // Add appends a metric.
 func (r *Result) Add(name string, value float64, unit string) {
 	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit})
+	if r.index != nil {
+		r.index[name] = len(r.Metrics) - 1
+	}
 }
 
-// Get returns the named metric's value and whether it exists.
+// Get returns the named metric's value and whether it exists, via a
+// map-backed index (rebuilt when the Metrics slice was populated behind the
+// index's back, as after a cache decode).
 func (r *Result) Get(name string) (float64, bool) {
-	for _, m := range r.Metrics {
-		if m.Name == name {
-			return m.Value, true
+	if len(r.index) != len(r.Metrics) {
+		r.index = make(map[string]int, len(r.Metrics))
+		for i, m := range r.Metrics {
+			r.index[m.Name] = i
 		}
 	}
-	return 0, false
+	i, ok := r.index[name]
+	if !ok {
+		return 0, false
+	}
+	return r.Metrics[i].Value, true
 }
 
 // Render formats the result as an indented text block for the harness.
@@ -79,43 +107,145 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// Experiment is a named, seedable reproduction of one paper figure.
+// Experiment is a named, seedable reproduction of one paper figure,
+// expressed as an engine campaign.
 type Experiment struct {
-	ID  string
-	Run func(seed int64) (*Result, error)
+	ID string
+	// Campaign builds the experiment's engine campaign for a seed. The
+	// campaign's scenario is named after the experiment ID, which is what
+	// the result cache keys on.
+	Campaign func(seed int64) engine.Campaign[*Result]
+}
+
+// Run executes the experiment through the engine campaign path with default
+// parallelism (GOMAXPROCS workers).
+func (e Experiment) Run(seed int64) (*Result, error) {
+	return e.RunWorkers(seed, 0)
+}
+
+// RunWorkers executes the experiment with an explicit engine worker count
+// (0 = GOMAXPROCS). Output is identical at every worker count.
+func (e Experiment) RunWorkers(seed int64, workers int) (*Result, error) {
+	runner, err := engine.NewRunner(engine.Config{Seed: seed, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := engine.RunCampaign(runner, e.Campaign(seed))
+	return res, err
+}
+
+// singleTrial wraps a one-shot figure computation as a 1-trial campaign.
+// The identity SeedFn makes the trial's RNG rand.New(rand.NewSource(seed)) —
+// exactly the generator the original serial figure function built — so the
+// port is output-preserving by construction.
+func singleTrial(id string, fn func(t *engine.T) (*Result, error)) engine.Campaign[*Result] {
+	return engine.Campaign[*Result]{
+		Scenario: engine.Scenario{
+			Name:      id,
+			Trials:    1,
+			MaxTrials: 1,
+			SeedFn:    func(seed int64, _ int) int64 { return seed },
+			Run: func(t *engine.T) error {
+				r, err := fn(t)
+				if err != nil {
+					return err
+				}
+				t.Keep(r)
+				return nil
+			},
+		},
+		KeepTrialValues: true,
+		FixedTrials:     true,
+		Finalize: func(rep *engine.Report) (*Result, error) {
+			r, _ := rep.TrialOutputs[0].(*Result)
+			if r == nil {
+				return nil, fmt.Errorf("experiments: %s: trial kept no Result", id)
+			}
+			return r, nil
+		},
+	}
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{ID: "fig02", Run: Fig02BaselineRangingUrban},
-		{ID: "fig04", Run: Fig04MedianFiltering},
-		{ID: "fig06", Run: Fig06RefinedErrorHistogram},
-		{ID: "fig07", Run: Fig07BidirectionalFilter},
-		{ID: "fig08", Run: Fig08ErrorVsDistance},
-		{ID: "fig10", Run: Fig10DFTToneDetection},
-		{ID: "maxrange", Run: MaxRangeSweep},
-		{ID: "fig11", Run: Fig11IntersectionConsistency},
-		{ID: "fig12", Run: Fig12MultilatParkingLot},
-		{ID: "fig14", Run: Fig14MultilatSparseGrid},
-		{ID: "fig16", Run: Fig16MultilatAugmentedGrid},
-		{ID: "fig18", Run: Fig18LSSGridConstrained},
-		{ID: "fig19", Run: Fig19LSSGridUnconstrained},
-		{ID: "fig20", Run: Fig20MultilatTown},
-		{ID: "fig21", Run: Fig21LSSTownConstrained},
-		{ID: "fig22", Run: Fig22LSSTownUnconstrained},
-		{ID: "fig23", Run: Fig23ConvergenceCurves},
-		{ID: "fig24", Run: Fig24DistributedSparse},
-		{ID: "fig25", Run: Fig25DistributedExtended},
+		{ID: "fig02", Campaign: fig02Campaign},
+		{ID: "fig04", Campaign: fig04Campaign},
+		{ID: "fig06", Campaign: fig06Campaign},
+		{ID: "fig07", Campaign: fig07Campaign},
+		{ID: "fig08", Campaign: fig08Campaign},
+		{ID: "fig10", Campaign: fig10Campaign},
+		{ID: "maxrange", Campaign: maxRangeCampaign},
+		{ID: "fig11", Campaign: fig11Campaign},
+		{ID: "fig12", Campaign: fig12Campaign},
+		{ID: "fig14", Campaign: fig14Campaign},
+		{ID: "fig16", Campaign: fig16Campaign},
+		{ID: "fig18", Campaign: fig18Campaign},
+		{ID: "fig19", Campaign: fig19Campaign},
+		{ID: "fig20", Campaign: fig20Campaign},
+		{ID: "fig21", Campaign: fig21Campaign},
+		{ID: "fig22", Campaign: fig22Campaign},
+		{ID: "fig23", Campaign: fig23Campaign},
+		{ID: "fig24", Campaign: fig24Campaign},
+		{ID: "fig25", Campaign: fig25Campaign},
 	}
 }
 
-// Find returns the experiment with the given ID.
+var (
+	registryOnce sync.Once
+	registry     map[string]Experiment
+)
+
+// Find returns the experiment with the given ID via a map-backed registry.
 func Find(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
+	registryOnce.Do(func() {
+		all := All()
+		registry = make(map[string]Experiment, len(all))
+		for _, e := range all {
+			registry[e.ID] = e
+		}
+	})
+	e, ok := registry[id]
+	return e, ok
+}
+
+// addErrorStats reports the standard error-sample metrics every ranging
+// figure shares: sample size, robust central error, extremes, and the
+// large-error population split.
+func addErrorStats(r *Result, errs []float64) error {
+	s, err := stats.Summarize(errs)
+	if err != nil {
+		return err
+	}
+	r.Add("measurements", float64(s.N), "")
+	r.Add("median |error|", s.AbsMed, "m")
+	r.Add("mean error", s.Mean, "m")
+	r.Add("max |error|", math.Max(math.Abs(s.Min), math.Abs(s.Max)), "m")
+	r.Add("fraction |error| > 1 m", s.Frac1m, "")
+	var under, over int
+	for _, e := range errs {
+		if e < -1 {
+			under++
+		} else if e > 1 {
+			over++
 		}
 	}
-	return Experiment{}, false
+	if under+over > 0 {
+		r.Add("underestimate share of large errors", float64(under)/float64(under+over), "")
+	}
+	return nil
+}
+
+// histogramSeries bins errs into a (bin center, count) series.
+func histogramSeries(errs []float64, lo, hi float64, bins int) ([]SeriesPoint, error) {
+	h, err := stats.NewHistogram(lo, hi, bins)
+	if err != nil {
+		return nil, err
+	}
+	h.AddAll(errs)
+	pts := make([]SeriesPoint, 0, bins)
+	for i, c := range h.Counts {
+		pts = append(pts, SeriesPoint{X: h.BinCenter(i), Y: float64(c)})
+	}
+	return pts, nil
 }

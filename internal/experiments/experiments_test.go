@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"resilientloc/internal/engine"
 )
 
 // The experiment suite doubles as the integration test of the whole
@@ -24,8 +26,11 @@ func mustGet(t *testing.T, r *Result, name string) float64 {
 func TestAllRegistryComplete(t *testing.T) {
 	ids := map[string]bool{}
 	for _, e := range All() {
-		if e.ID == "" || e.Run == nil {
-			t.Fatalf("malformed experiment entry %+v", e)
+		if e.ID == "" || e.Campaign == nil {
+			t.Fatalf("malformed experiment entry %s", e.ID)
+		}
+		if c := e.Campaign(1); c.Scenario.Name != e.ID {
+			t.Errorf("experiment %s: campaign scenario named %q, want the ID", e.ID, c.Scenario.Name)
 		}
 		if ids[e.ID] {
 			t.Fatalf("duplicate experiment ID %s", e.ID)
@@ -47,6 +52,31 @@ func TestAllRegistryComplete(t *testing.T) {
 	}
 	if _, ok := Find("nope"); ok {
 		t.Error("Find accepted unknown ID")
+	}
+}
+
+// TestFixedTrialsIgnoreOverride pins that a runner-level trial override
+// cannot truncate a figure campaign's structural trial count (which its
+// Finalize hard-codes): the maxrange sweep must run all 36 points even under
+// Config{Trials: 5}.
+func TestFixedTrialsIgnoreOverride(t *testing.T) {
+	runner, err := engine.NewRunner(engine.Config{Seed: 1, Trials: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := Find("maxrange")
+	if !ok {
+		t.Fatal("maxrange missing")
+	}
+	res, rep, err := engine.RunCampaign(runner, e.Campaign(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 36 {
+		t.Errorf("ran %d trials, want the structural 36", rep.Trials)
+	}
+	if len(res.Series) != 4 {
+		t.Errorf("got %d series, want 4", len(res.Series))
 	}
 }
 

@@ -55,128 +55,140 @@ func gridAnchors(dep *deploy.Deployment, seed int64) (map[int]geom.Point, error)
 // being localized, so small distance errors displace its intersection
 // points far from the true cluster and the consistency check drops it.
 func Fig11IntersectionConsistency(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	truth := geom.Pt(10, 9)
-	anchorPos := []geom.Point{
-		geom.Pt(0, 0), geom.Pt(21, 2), geom.Pt(3, 20), geom.Pt(19, 17),
-		geom.Pt(45, 41), // the rogue: nearly collinear with the node
-	}
-	const rogueIdx = 4
-	node := len(anchorPos)
-	set, err := measure.NewSet(len(anchorPos) + 1)
-	if err != nil {
-		return nil, err
-	}
-	anchors := make(map[int]geom.Point, len(anchorPos))
-	for i, a := range anchorPos {
-		anchors[i] = a
-		d := truth.Dist(a) + rng.NormFloat64()*0.2
-		if i == rogueIdx {
-			d = truth.Dist(a) + 9 // gross overestimate on the rogue anchor
+	return runFigure(fig11Campaign, seed)
+}
+
+func fig11Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig11", func(t *engine.T) (*Result, error) {
+		rng := t.RNG
+		truth := geom.Pt(10, 9)
+		anchorPos := []geom.Point{
+			geom.Pt(0, 0), geom.Pt(21, 2), geom.Pt(3, 20), geom.Pt(19, 17),
+			geom.Pt(45, 41), // the rogue: nearly collinear with the node
 		}
-		if err := set.Add(node, i, d, 1); err != nil {
+		const rogueIdx = 4
+		node := len(anchorPos)
+		set, err := measure.NewSet(len(anchorPos) + 1)
+		if err != nil {
 			return nil, err
 		}
-	}
+		anchors := make(map[int]geom.Point, len(anchorPos))
+		for i, a := range anchorPos {
+			anchors[i] = a
+			d := truth.Dist(a) + rng.NormFloat64()*0.2
+			if i == rogueIdx {
+				d = truth.Dist(a) + 9 // gross overestimate on the rogue anchor
+			}
+			if err := set.Add(node, i, d, 1); err != nil {
+				return nil, err
+			}
+		}
 
-	withCheck := core.DefaultMultilatConfig()
-	noCheck := core.DefaultMultilatConfig()
-	noCheck.ConsistencyRadius = 0
+		withCheck := core.DefaultMultilatConfig()
+		noCheck := core.DefaultMultilatConfig()
+		noCheck.ConsistencyRadius = 0
 
-	resNo, err := core.SolveMultilateration(set, anchors, noCheck)
-	if err != nil {
-		return nil, err
-	}
-	resYes, err := core.SolveMultilateration(set, anchors, withCheck)
-	if err != nil {
-		return nil, err
-	}
+		resNo, err := core.SolveMultilateration(set, anchors, noCheck)
+		if err != nil {
+			return nil, err
+		}
+		resYes, err := core.SolveMultilateration(set, anchors, withCheck)
+		if err != nil {
+			return nil, err
+		}
 
-	r := &Result{
-		ID:         "fig11",
-		Title:      "Intersection consistency check versus a bad near-collinear anchor",
-		PaperClaim: "the anchor with no intersection points near the cluster is discarded",
-	}
-	pNo, okNo := resNo.Positions[node]
-	pYes, okYes := resYes.Positions[node]
-	if okNo {
-		r.Add("error without consistency check", pNo.Dist(truth), "m")
-	}
-	if okYes {
-		r.Add("error with consistency check", pYes.Dist(truth), "m")
-	}
-	if okNo && okYes && pYes.Dist(truth) > pNo.Dist(truth) {
-		r.Notes = "REGRESSION: the consistency check did not improve the fix"
-	}
-	return r, nil
+		r := &Result{
+			ID:         "fig11",
+			Title:      "Intersection consistency check versus a bad near-collinear anchor",
+			PaperClaim: "the anchor with no intersection points near the cluster is discarded",
+		}
+		pNo, okNo := resNo.Positions[node]
+		pYes, okYes := resYes.Positions[node]
+		if okNo {
+			r.Add("error without consistency check", pNo.Dist(truth), "m")
+		}
+		if okYes {
+			r.Add("error with consistency check", pYes.Dist(truth), "m")
+		}
+		if okNo && okYes && pYes.Dist(truth) > pNo.Dist(truth) {
+			r.Notes = "REGRESSION: the consistency check did not improve the fix"
+		}
+		return r, nil
+	})
 }
 
 // Fig12MultilatParkingLot reproduces Figure 12: 15 nodes (5 loudspeaker
 // anchors) in a 25×25 m parking lot, one-way measurements, median filter.
 // Paper: average localization error 0.868 m.
 func Fig12MultilatParkingLot(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	dep := deploy.ParkingLot()
-	cfg := ranging.DefaultConfig(acoustics.Pavement())
-	// The parking-lot experiment predates the chirp pattern ("This
-	// experiment was performed before we had incorporated the sound pattern
-	// into the ranging service. As a result, individual range measurements
-	// carried larger error magnitudes."): use a short pattern and extra
-	// device jitter.
-	cfg.Pattern.Chirps = 5
-	cfg.Pattern.RandomDelay = 0
-	cfg.DeviceJitterStd = 0.55
-	cfg.CalibrationBias = 0.15 // pre-calibration constant offset (§3.6)
-	svc, err := ranging.NewService(cfg, dep, rng)
-	if err != nil {
-		return nil, err
-	}
-	// One-way: only anchors have loudspeakers; measure anchor → node and
-	// record under the node so multilateration can use it.
-	raw, err := measure.NewRaw(dep.N())
-	if err != nil {
-		return nil, err
-	}
-	for round := 0; round < 5; round++ {
-		for _, a := range dep.Anchors {
-			for _, i := range dep.NonAnchors() {
-				if d, ok := svc.MeasurePair(a, i); ok {
-					if err := raw.Add(a, i, d); err != nil {
-						return nil, err
+	return runFigure(fig12Campaign, seed)
+}
+
+func fig12Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig12", func(t *engine.T) (*Result, error) {
+		rng := t.RNG
+		dep := deploy.ParkingLot()
+		cfg := ranging.DefaultConfig(acoustics.Pavement())
+		// The parking-lot experiment predates the chirp pattern ("This
+		// experiment was performed before we had incorporated the sound pattern
+		// into the ranging service. As a result, individual range measurements
+		// carried larger error magnitudes."): use a short pattern and extra
+		// device jitter.
+		cfg.Pattern.Chirps = 5
+		cfg.Pattern.RandomDelay = 0
+		cfg.DeviceJitterStd = 0.55
+		cfg.CalibrationBias = 0.15 // pre-calibration constant offset (§3.6)
+		svc, err := ranging.NewService(cfg, dep, rng)
+		if err != nil {
+			return nil, err
+		}
+		// One-way: only anchors have loudspeakers; measure anchor → node and
+		// record under the node so multilateration can use it.
+		raw, err := measure.NewRaw(dep.N())
+		if err != nil {
+			return nil, err
+		}
+		for round := 0; round < 5; round++ {
+			for _, a := range dep.Anchors {
+				for _, i := range dep.NonAnchors() {
+					if d, ok := svc.MeasurePair(a, i); ok {
+						if err := raw.Add(a, i, d); err != nil {
+							return nil, err
+						}
 					}
 				}
 			}
 		}
-	}
-	directed := raw.Filter(measure.FilterMedian, 0)
-	set, err := measure.Merge(dep.N(), directed, measure.DefaultMergeOptions())
-	if err != nil {
-		return nil, err
-	}
-	anchors := make(map[int]geom.Point)
-	for _, a := range dep.Anchors {
-		anchors[a] = dep.Positions[a]
-	}
-	res, err := core.SolveMultilateration(set, anchors, core.DefaultMultilatConfig())
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{
-		ID:         "fig12",
-		Title:      "Multilateration, 15 nodes (5 anchors), 25×25 m parking lot",
-		PaperClaim: "average localization error 0.868 m",
-	}
-	r.Add("non-anchors localized", float64(len(res.Localized)), "")
-	r.Add("of non-anchors", float64(len(dep.NonAnchors())), "")
-	if len(res.Localized) > 0 {
-		avg, worst, err := eval.AvgErrorAbsolute(res.Positions, dep.Positions)
+		directed := raw.Filter(measure.FilterMedian, 0)
+		set, err := measure.Merge(dep.N(), directed, measure.DefaultMergeOptions())
 		if err != nil {
 			return nil, err
 		}
-		r.Add("average localization error", avg, "m")
-		r.Add("worst localization error", worst, "m")
-	}
-	return r, nil
+		anchors := make(map[int]geom.Point)
+		for _, a := range dep.Anchors {
+			anchors[a] = dep.Positions[a]
+		}
+		res, err := core.SolveMultilateration(set, anchors, core.DefaultMultilatConfig())
+		if err != nil {
+			return nil, err
+		}
+		r := &Result{
+			ID:         "fig12",
+			Title:      "Multilateration, 15 nodes (5 anchors), 25×25 m parking lot",
+			PaperClaim: "average localization error 0.868 m",
+		}
+		r.Add("non-anchors localized", float64(len(res.Localized)), "")
+		r.Add("of non-anchors", float64(len(dep.NonAnchors())), "")
+		if len(res.Localized) > 0 {
+			avg, worst, err := eval.AvgErrorAbsolute(res.Positions, dep.Positions)
+			if err != nil {
+				return nil, err
+			}
+			r.Add("average localization error", avg, "m")
+			r.Add("worst localization error", worst, "m")
+		}
+		return r, nil
+	})
 }
 
 // Fig14MultilatSparseGrid reproduces Figures 13/14: multilateration on the
@@ -184,36 +196,42 @@ func Fig12MultilatParkingLot(seed int64) (*Result, error) {
 // 7 of 33 non-anchors localized (20%), 1.47 anchors per node, 0.653 m
 // average error for those localized.
 func Fig14MultilatSparseGrid(seed int64) (*Result, error) {
-	set, dep, err := gridFieldSet(seed)
-	if err != nil {
-		return nil, err
-	}
-	anchors, err := gridAnchors(dep, seed+1)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.SolveMultilateration(set, anchors, core.DefaultMultilatConfig())
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{
-		ID:    "fig14",
-		Title: "Multilateration on sparse grid field measurements, 13 anchors",
-		PaperClaim: "only 7 of 33 non-anchors localized (20%); 1.47 anchors per node; " +
-			"0.653 m average error for the localized nodes",
-	}
-	r.Add("measured pairs", float64(set.Len()), "")
-	r.Add("anchors per node", res.AvgAnchorsPerNode, "")
-	nonAnchors := float64(dep.N() - len(anchors))
-	r.Add("localized fraction", float64(len(res.Localized))/nonAnchors, "")
-	if len(res.Localized) > 0 {
-		avg, _, err := eval.AvgErrorAbsolute(res.Positions, dep.Positions)
+	return runFigure(fig14Campaign, seed)
+}
+
+func fig14Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig14", func(t *engine.T) (*Result, error) {
+		set, dep, err := gridFieldSet(seed)
 		if err != nil {
 			return nil, err
 		}
-		r.Add("average error of localized", avg, "m")
-	}
-	return r, nil
+		anchors, err := gridAnchors(dep, seed+1)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.SolveMultilateration(set, anchors, core.DefaultMultilatConfig())
+		if err != nil {
+			return nil, err
+		}
+		r := &Result{
+			ID:    "fig14",
+			Title: "Multilateration on sparse grid field measurements, 13 anchors",
+			PaperClaim: "only 7 of 33 non-anchors localized (20%); 1.47 anchors per node; " +
+				"0.653 m average error for the localized nodes",
+		}
+		r.Add("measured pairs", float64(set.Len()), "")
+		r.Add("anchors per node", res.AvgAnchorsPerNode, "")
+		nonAnchors := float64(dep.N() - len(anchors))
+		r.Add("localized fraction", float64(len(res.Localized))/nonAnchors, "")
+		if len(res.Localized) > 0 {
+			avg, _, err := eval.AvgErrorAbsolute(res.Positions, dep.Positions)
+			if err != nil {
+				return nil, err
+			}
+			r.Add("average error of localized", avg, "m")
+		}
+		return r, nil
+	})
 }
 
 // Fig16MultilatAugmentedGrid reproduces Figures 15/16: the same sparse set
@@ -222,55 +240,61 @@ func Fig14MultilatSparseGrid(seed int64) (*Result, error) {
 // Paper: 3.524 m average error, dominated by three badly localized nodes
 // (0.9 m without them).
 func Fig16MultilatAugmentedGrid(seed int64) (*Result, error) {
-	set, dep, err := gridFieldSet(seed)
-	if err != nil {
-		return nil, err
-	}
-	anchors, err := gridAnchors(dep, seed+1)
-	if err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(seed + 2))
-	added, err := measure.Augment(set, dep, 22, measure.GaussianNoise, 1<<30, rng)
-	if err != nil {
-		return nil, err
-	}
-	// The paper omitted the intersection consistency check in this
-	// simulation (its footnote 5).
-	cfg := core.DefaultMultilatConfig()
-	cfg.ConsistencyRadius = 0
-	res, err := core.SolveMultilateration(set, anchors, cfg)
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{
-		ID:    "fig16",
-		Title: "Multilateration with simulated-distance augmentation",
-		PaperClaim: "~80% of nodes localized; 3.84 anchors per node; 3.524 m average " +
-			"(0.9 m without the three worst nodes)",
-	}
-	r.Add("simulated distances added", float64(added), "")
-	r.Add("anchors per node", res.AvgAnchorsPerNode, "")
-	nonAnchors := float64(dep.N() - len(anchors))
-	r.Add("localized fraction", float64(len(res.Localized))/nonAnchors, "")
-	if len(res.Localized) > 2 {
-		avg, worst, err := eval.AvgErrorAbsolute(res.Positions, dep.Positions)
+	return runFigure(fig16Campaign, seed)
+}
+
+func fig16Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig16", func(t *engine.T) (*Result, error) {
+		set, dep, err := gridFieldSet(seed)
 		if err != nil {
 			return nil, err
 		}
-		r.Add("average error of localized", avg, "m")
-		r.Add("worst error", worst, "m")
-		var errs []float64
-		for i, p := range res.Positions {
-			errs = append(errs, p.Dist(dep.Positions[i]))
-		}
-		trimmed, err := eval.TrimmedAvg(errs, 3)
+		anchors, err := gridAnchors(dep, seed+1)
 		if err != nil {
 			return nil, err
 		}
-		r.Add("average without worst 3", trimmed, "m")
-	}
-	return r, nil
+		rng := rand.New(rand.NewSource(seed + 2))
+		added, err := measure.Augment(set, dep, 22, measure.GaussianNoise, 1<<30, rng)
+		if err != nil {
+			return nil, err
+		}
+		// The paper omitted the intersection consistency check in this
+		// simulation (its footnote 5).
+		cfg := core.DefaultMultilatConfig()
+		cfg.ConsistencyRadius = 0
+		res, err := core.SolveMultilateration(set, anchors, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r := &Result{
+			ID:    "fig16",
+			Title: "Multilateration with simulated-distance augmentation",
+			PaperClaim: "~80% of nodes localized; 3.84 anchors per node; 3.524 m average " +
+				"(0.9 m without the three worst nodes)",
+		}
+		r.Add("simulated distances added", float64(added), "")
+		r.Add("anchors per node", res.AvgAnchorsPerNode, "")
+		nonAnchors := float64(dep.N() - len(anchors))
+		r.Add("localized fraction", float64(len(res.Localized))/nonAnchors, "")
+		if len(res.Localized) > 2 {
+			avg, worst, err := eval.AvgErrorAbsolute(res.Positions, dep.Positions)
+			if err != nil {
+				return nil, err
+			}
+			r.Add("average error of localized", avg, "m")
+			r.Add("worst error", worst, "m")
+			var errs []float64
+			for i, p := range res.Positions {
+				errs = append(errs, p.Dist(dep.Positions[i]))
+			}
+			trimmed, err := eval.TrimmedAvg(errs, 3)
+			if err != nil {
+				return nil, err
+			}
+			r.Add("average without worst 3", trimmed, "m")
+		}
+		return r, nil
+	})
 }
 
 // lssGridExperiment runs centralized LSS on the grass-grid field set with
@@ -305,42 +329,54 @@ func lssGridExperiment(seed int64, dmin float64) (*eval.Alignment, *core.LSSResu
 // field measurements. Paper: 2.229 m average error (1.5 m without the worst
 // five nodes).
 func Fig18LSSGridConstrained(seed int64) (*Result, error) {
-	a, res, set, err := lssGridExperiment(seed, 9.14)
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{
-		ID:         "fig18",
-		Title:      "Centralized LSS with minimum-spacing soft constraint, grass grid",
-		PaperClaim: "average localization error 2.229 m; 1.5 m without the largest five errors",
-	}
-	r.Add("measured pairs", float64(set.Len()), "")
-	r.Add("average error", a.AvgError, "m")
-	trimmed, err := eval.TrimmedAvg(a.Errors, 5)
-	if err != nil {
-		return nil, err
-	}
-	r.Add("average without worst 5", trimmed, "m")
-	r.Add("final objective E", res.Error, "")
-	return r, nil
+	return runFigure(fig18Campaign, seed)
+}
+
+func fig18Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig18", func(t *engine.T) (*Result, error) {
+		a, res, set, err := lssGridExperiment(seed, 9.14)
+		if err != nil {
+			return nil, err
+		}
+		r := &Result{
+			ID:         "fig18",
+			Title:      "Centralized LSS with minimum-spacing soft constraint, grass grid",
+			PaperClaim: "average localization error 2.229 m; 1.5 m without the largest five errors",
+		}
+		r.Add("measured pairs", float64(set.Len()), "")
+		r.Add("average error", a.AvgError, "m")
+		trimmed, err := eval.TrimmedAvg(a.Errors, 5)
+		if err != nil {
+			return nil, err
+		}
+		r.Add("average without worst 5", trimmed, "m")
+		r.Add("final objective E", res.Error, "")
+		return r, nil
+	})
 }
 
 // Fig19LSSGridUnconstrained reproduces Figure 19: the same run without the
 // soft constraint fails to converge anywhere near the actual positions.
 // Paper: 16.609 m average error after a full day of minimization.
 func Fig19LSSGridUnconstrained(seed int64) (*Result, error) {
-	a, res, _, err := lssGridExperiment(seed, 0)
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{
-		ID:         "fig19",
-		Title:      "Centralized LSS without the soft constraint, grass grid",
-		PaperClaim: "fails to converge: 16.609 m average error after a full day",
-	}
-	r.Add("average error", a.AvgError, "m")
-	r.Add("final objective E", res.Error, "")
-	return r, nil
+	return runFigure(fig19Campaign, seed)
+}
+
+func fig19Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig19", func(t *engine.T) (*Result, error) {
+		a, res, _, err := lssGridExperiment(seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		r := &Result{
+			ID:         "fig19",
+			Title:      "Centralized LSS without the soft constraint, grass grid",
+			PaperClaim: "fails to converge: 16.609 m average error after a full day",
+		}
+		r.Add("average error", a.AvgError, "m")
+		r.Add("final objective E", res.Error, "")
+		return r, nil
+	})
 }
 
 // townScenario builds the Figures 20–22 random-deployment simulation: the
@@ -359,113 +395,85 @@ func townScenario(seed int64) (*deploy.Deployment, *measure.Set, error) {
 // Fig20MultilatTown reproduces Figure 20: multilateration on the town
 // scenario with 18 anchors. Paper: 35 nodes localized, 0.950 m average.
 func Fig20MultilatTown(seed int64) (*Result, error) {
-	dep, set, err := townScenario(seed)
-	if err != nil {
-		return nil, err
-	}
-	anchors := make(map[int]geom.Point)
-	for _, a := range dep.Anchors {
-		anchors[a] = dep.Positions[a]
-	}
-	// Footnote 5: intersection consistency checking omitted here.
-	cfg := core.DefaultMultilatConfig()
-	cfg.ConsistencyRadius = 0
-	res, err := core.SolveMultilateration(set, anchors, cfg)
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{
-		ID:         "fig20",
-		Title:      "Multilateration on the town scenario (59 nodes, 18 anchors)",
-		PaperClaim: "35 nodes localized with 0.950 m average error",
-	}
-	r.Add("pairs within 22 m", float64(set.Len()), "")
-	r.Add("non-anchors localized", float64(len(res.Localized)), "")
-	r.Add("of non-anchors", float64(len(dep.NonAnchors())), "")
-	if len(res.Localized) > 0 {
-		avg, _, err := eval.AvgErrorAbsolute(res.Positions, dep.Positions)
+	return runFigure(fig20Campaign, seed)
+}
+
+func fig20Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig20", func(t *engine.T) (*Result, error) {
+		dep, set, err := townScenario(seed)
 		if err != nil {
 			return nil, err
 		}
-		r.Add("average error of localized", avg, "m")
-	}
-	return r, nil
+		anchors := make(map[int]geom.Point)
+		for _, a := range dep.Anchors {
+			anchors[a] = dep.Positions[a]
+		}
+		// Footnote 5: intersection consistency checking omitted here.
+		cfg := core.DefaultMultilatConfig()
+		cfg.ConsistencyRadius = 0
+		res, err := core.SolveMultilateration(set, anchors, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r := &Result{
+			ID:         "fig20",
+			Title:      "Multilateration on the town scenario (59 nodes, 18 anchors)",
+			PaperClaim: "35 nodes localized with 0.950 m average error",
+		}
+		r.Add("pairs within 22 m", float64(set.Len()), "")
+		r.Add("non-anchors localized", float64(len(res.Localized)), "")
+		r.Add("of non-anchors", float64(len(dep.NonAnchors())), "")
+		if len(res.Localized) > 0 {
+			avg, _, err := eval.AvgErrorAbsolute(res.Positions, dep.Positions)
+			if err != nil {
+				return nil, err
+			}
+			r.Add("average error of localized", avg, "m")
+		}
+		return r, nil
+	})
 }
 
-// townSingleDescents runs nDescents independent single fixed-step descents
-// (the paper's Eq. (1) optimizer, no restarts) on the town scenario and
-// returns the per-descent average localization errors plus the pointwise
-// mean objective history — the statistically honest version of the paper's
-// single-run Figures 21–23: which single run converges is seed luck, so we
-// report the ensemble. The descents are independent Monte Carlo trials, so
-// they run concurrently on the scenario engine; the scenario's SeedFn
-// keeps the original seed·1000+k per-descent seeding, and the aggregation
-// below accumulates the retained per-trial values in trial order, so the
-// results are bit-identical to the former serial loop.
-func townSingleDescents(seed int64, dmin float64, nDescents, maxIters int) ([]float64, []float64, error) {
+// townDescent runs one independent single fixed-step descent (the paper's
+// Eq. (1) optimizer, no restarts) on the town scenario, returning the
+// descent's average localization error and its objective history padded to
+// maxIters+1 points (an early-converged history is extended with its final
+// value so pointwise ensemble means are defined at every iteration). The
+// trial's RNG carries the paper-faithful seed·1000+k per-descent seeding via
+// the campaign's SeedFn, so results are bit-identical to the former serial
+// ensembles.
+func townDescent(t *engine.T, seed int64, dmin float64, maxIters int) (float64, []float64, error) {
 	dep, set, err := townScenario(seed)
 	if err != nil {
-		return nil, nil, err
+		return 0, nil, err
 	}
-	sc := engine.Scenario{
-		Name:        "town-single-descent",
-		Description: "independent fixed-step LSS descents on the town scenario (paper Figs. 21-23)",
-		Trials:      nDescents,
-		SeedFn:      func(s int64, k int) int64 { return s*1000 + int64(k) },
-		Run: func(t *engine.T) error {
-			cfg := core.DefaultLSSConfig(dmin)
-			cfg.Mode = core.StepFixed
-			cfg.Step = 0.002
-			cfg.Restarts = 0
-			cfg.MaxIters = maxIters
-			cfg.SeedMDSMap = false
-			// Compact initialization, matching the paper's Figure 23
-			// starting objective: the constraint then acts as an unfolding
-			// force.
-			cfg.InitSpread = 20
-			res, err := core.SolveLSS(set, cfg, t.RNG)
-			if err != nil {
-				return err
-			}
-			a, err := eval.Fit(res.Positions, dep.Positions)
-			if err != nil {
-				return err
-			}
-			t.Record("avg_error_m", a.AvgError)
-			// Pad an early-converged history with its final value so the
-			// pointwise ensemble mean is defined at every iteration.
-			h := res.History
-			padded := make([]float64, maxIters+1)
-			for i := range padded {
-				v := h[len(h)-1]
-				if i < len(h) {
-					v = h[i]
-				}
-				padded[i] = v
-			}
-			t.RecordSeries("E", padded)
-			return nil
-		},
-	}
-	// ShardSize 1 runs each descent on its own worker; the aggregation
-	// below reads only the trial-indexed TrialScalars/TrialSeries, which
-	// do not depend on the shard partition.
-	runner, err := engine.NewRunner(engine.Config{Seed: seed, ShardSize: 1, KeepTrialValues: true})
+	cfg := core.DefaultLSSConfig(dmin)
+	cfg.Mode = core.StepFixed
+	cfg.Step = 0.002
+	cfg.Restarts = 0
+	cfg.MaxIters = maxIters
+	cfg.SeedMDSMap = false
+	// Compact initialization, matching the paper's Figure 23 starting
+	// objective: the constraint then acts as an unfolding force.
+	cfg.InitSpread = 20
+	res, err := core.SolveLSS(set, cfg, t.RNG)
 	if err != nil {
-		return nil, nil, err
+		return 0, nil, err
 	}
-	rep, err := runner.Run(sc)
+	a, err := eval.Fit(res.Positions, dep.Positions)
 	if err != nil {
-		return nil, nil, err
+		return 0, nil, err
 	}
-	errsOut := rep.TrialScalars["avg_error_m"]
-	meanHist := make([]float64, maxIters+1)
-	for _, hist := range rep.TrialSeries["E"] {
-		for i, v := range hist {
-			meanHist[i] += v / float64(nDescents)
+	h := res.History
+	padded := make([]float64, maxIters+1)
+	for i := range padded {
+		v := h[len(h)-1]
+		if i < len(h) {
+			v = h[i]
 		}
+		padded[i] = v
 	}
-	return errsOut, meanHist, nil
+	return a.AvgError, padded, nil
 }
 
 // townFullSolver runs the library's full adaptive solver (with restarts) on
@@ -487,23 +495,38 @@ func townFullSolver(seed int64, dmin float64) (*eval.Alignment, *core.LSSResult,
 	return a, res, nil
 }
 
+// descentSeedFn is the ensemble figures' per-descent seeding: descents keep
+// the original serial loops' seed·1000+k arithmetic, with k the descent's
+// index within its ensemble of `perGroup` descents.
+func descentSeedFn(perGroup int) func(seed int64, trial int) int64 {
+	return func(seed int64, trial int) int64 {
+		return seed*1000 + int64(trial%perGroup)
+	}
+}
+
 // Fig21LSSTownConstrained reproduces Figure 21: centralized LSS with the
 // 9 m constraint on the town scenario, no anchors used. Paper: all nodes
 // localized, 0.548 m average error.
 func Fig21LSSTownConstrained(seed int64) (*Result, error) {
-	a, res, err := townFullSolver(seed, 9)
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{
-		ID:         "fig21",
-		Title:      "Centralized LSS with constraint on the town scenario (no anchors)",
-		PaperClaim: "all nodes localized with 0.548 m average error",
-	}
-	r.Add("average error", a.AvgError, "m")
-	r.Add("max error", a.MaxError, "m")
-	r.Add("final objective E", res.Error, "")
-	return r, nil
+	return runFigure(fig21Campaign, seed)
+}
+
+func fig21Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig21", func(t *engine.T) (*Result, error) {
+		a, res, err := townFullSolver(seed, 9)
+		if err != nil {
+			return nil, err
+		}
+		r := &Result{
+			ID:         "fig21",
+			Title:      "Centralized LSS with constraint on the town scenario (no anchors)",
+			PaperClaim: "all nodes localized with 0.548 m average error",
+		}
+		r.Add("average error", a.AvgError, "m")
+		r.Add("max error", a.MaxError, "m")
+		r.Add("final objective E", res.Error, "")
+		return r, nil
+	})
 }
 
 // Fig22LSSTownUnconstrained examines Figure 22: without the constraint the
@@ -511,47 +534,85 @@ func Fig21LSSTownConstrained(seed int64) (*Result, error) {
 // That failure is an optimizer artifact on this *dense* scenario: our full
 // restart solver converges either way, so we report both the full-solver
 // result (a documented deviation) and the paper-equivalent statistic — the
-// median error of independent single fixed-step descents, where the
+// mean error of independent single fixed-step descents, where the
 // unconstrained objective routinely strands descents in folds.
 func Fig22LSSTownUnconstrained(seed int64) (*Result, error) {
-	aFull, _, err := townFullSolver(seed, 0)
-	if err != nil {
-		return nil, err
-	}
+	return runFigure(fig22Campaign, seed)
+}
+
+// fig22Campaign is one campaign over 17 concurrent trials: descents 0–7 run
+// constrained (dmin 9 m), descents 8–15 unconstrained, and trial 16 is the
+// full restart solver (which seeds its own generator, seed+20, exactly as
+// the serial code did).
+func fig22Campaign(seed int64) engine.Campaign[*Result] {
 	const nDescents, iters = 8, 6000
-	withErrs, _, err := townSingleDescents(seed, 9, nDescents, iters)
-	if err != nil {
-		return nil, err
+	const nTrials = 2*nDescents + 1
+	return engine.Campaign[*Result]{
+		Scenario: engine.Scenario{
+			Name:      "fig22",
+			Trials:    nTrials,
+			MaxTrials: nTrials,
+			SeedFn:    descentSeedFn(nDescents),
+			Run: func(t *engine.T) error {
+				switch {
+				case t.Trial < nDescents: // constrained descent
+					avg, _, err := townDescent(t, seed, 9, iters)
+					if err != nil {
+						return err
+					}
+					t.Record("avg_error_m", avg)
+				case t.Trial < 2*nDescents: // unconstrained descent
+					avg, _, err := townDescent(t, seed, 0, iters)
+					if err != nil {
+						return err
+					}
+					t.Record("avg_error_m", avg)
+				default: // full restart solver
+					aFull, _, err := townFullSolver(seed, 0)
+					if err != nil {
+						return err
+					}
+					t.Record("full_avg_error_m", aFull.AvgError)
+				}
+				return nil
+			},
+		},
+		// One descent per worker; the figure reads only TrialScalars, which
+		// are shard-size independent. Trial indices encode ensemble
+		// membership, so the count is structural.
+		ShardSize:       1,
+		KeepTrialValues: true,
+		FixedTrials:     true,
+		Finalize: func(rep *engine.Report) (*Result, error) {
+			errs := rep.TrialScalars["avg_error_m"]
+			meanWith, err := stats.Mean(errs[:nDescents])
+			if err != nil {
+				return nil, err
+			}
+			meanWithout, err := stats.Mean(errs[nDescents : 2*nDescents])
+			if err != nil {
+				return nil, err
+			}
+			fullAvg := rep.TrialScalars["full_avg_error_m"][2*nDescents]
+			r := &Result{
+				ID:         "fig22",
+				Title:      "Centralized LSS without constraint on the town scenario",
+				PaperClaim: "most nodes not properly localized: 13.606 m average error",
+			}
+			r.Add("full-solver average error (deviation)", fullAvg, "m")
+			r.Add("mean single-descent error, no constraint", meanWithout, "m")
+			r.Add("mean single-descent error, constrained", meanWith, "m")
+			if meanWithout <= meanWith {
+				r.Notes = "REGRESSION: unconstrained descents did not fare worse"
+			} else {
+				r.Notes = "at the paper's fixed-step single-descent budget, unconstrained descents land near the " +
+					"paper's 13.6 m while constrained ones land lower; our full restart solver converges either way " +
+					"on this dense scenario (documented deviation — on sparse data, Figs 18/19, the constraint is " +
+					"decisive regardless of budget)"
+			}
+			return r, nil
+		},
 	}
-	withoutErrs, _, err := townSingleDescents(seed, 0, nDescents, iters)
-	if err != nil {
-		return nil, err
-	}
-	meanWith, err := stats.Mean(withErrs)
-	if err != nil {
-		return nil, err
-	}
-	meanWithout, err := stats.Mean(withoutErrs)
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{
-		ID:         "fig22",
-		Title:      "Centralized LSS without constraint on the town scenario",
-		PaperClaim: "most nodes not properly localized: 13.606 m average error",
-	}
-	r.Add("full-solver average error (deviation)", aFull.AvgError, "m")
-	r.Add("mean single-descent error, no constraint", meanWithout, "m")
-	r.Add("mean single-descent error, constrained", meanWith, "m")
-	if meanWithout <= meanWith {
-		r.Notes = "REGRESSION: unconstrained descents did not fare worse"
-	} else {
-		r.Notes = "at the paper's fixed-step single-descent budget, unconstrained descents land near the " +
-			"paper's 13.6 m while constrained ones land lower; our full restart solver converges either way " +
-			"on this dense scenario (documented deviation — on sparse data, Figs 18/19, the constraint is " +
-			"decisive regardless of budget)"
-	}
-	return r, nil
 }
 
 // Fig23ConvergenceCurves reproduces Figure 23: the objective versus epoch
@@ -560,37 +621,76 @@ func Fig22LSSTownUnconstrained(seed int64) (*Result, error) {
 // objective includes extra non-negative penalty terms (so its floor is
 // higher), yet it reaches its floor far sooner and its layouts are better.
 func Fig23ConvergenceCurves(seed int64) (*Result, error) {
+	return runFigure(fig23Campaign, seed)
+}
+
+// fig23Campaign runs both ensembles as one campaign over 16 concurrent
+// trials: descents 0–7 constrained, 8–15 unconstrained, each recording its
+// padded objective history.
+func fig23Campaign(seed int64) engine.Campaign[*Result] {
 	const nDescents, iters = 8, 2500
-	_, withHist, err := townSingleDescents(seed, 9, nDescents, iters)
-	if err != nil {
-		return nil, err
+	return engine.Campaign[*Result]{
+		Scenario: engine.Scenario{
+			Name:      "fig23",
+			Trials:    2 * nDescents,
+			MaxTrials: 2 * nDescents,
+			SeedFn:    descentSeedFn(nDescents),
+			Run: func(t *engine.T) error {
+				dmin := 9.0
+				if t.Trial >= nDescents {
+					dmin = 0
+				}
+				avg, hist, err := townDescent(t, seed, dmin, iters)
+				if err != nil {
+					return err
+				}
+				t.Record("avg_error_m", avg)
+				t.RecordSeries("E", hist)
+				return nil
+			},
+		},
+		ShardSize:       1,
+		KeepTrialValues: true,
+		FixedTrials:     true,
+		Finalize: func(rep *engine.Report) (*Result, error) {
+			// Pointwise ensemble mean, accumulated in trial order exactly as
+			// the serial generator did.
+			meanHist := func(rows [][]float64) []float64 {
+				mean := make([]float64, iters+1)
+				for _, hist := range rows {
+					for i, v := range hist {
+						mean[i] += v / float64(nDescents)
+					}
+				}
+				return mean
+			}
+			rows := rep.TrialSeries["E"]
+			withHist := meanHist(rows[:nDescents])
+			withoutHist := meanHist(rows[nDescents:])
+			const epoch = 50 // gradient steps per plotted epoch
+			sample := func(h []float64) []SeriesPoint {
+				var pts []SeriesPoint
+				for i := 0; i < len(h) && len(pts) <= 50; i += epoch {
+					pts = append(pts, SeriesPoint{X: float64(i / epoch), Y: h[i]})
+				}
+				return pts
+			}
+			r := &Result{
+				ID:         "fig23",
+				Title:      "Mean objective vs epoch, with and without the soft constraint",
+				PaperClaim: "the soft constraint greatly reduces the time to reach a global minimum",
+			}
+			r.Series = append(r.Series,
+				Series{Name: "mean E with constraint", Points: sample(withHist)},
+				Series{Name: "mean E without constraint", Points: sample(withoutHist)},
+			)
+			r.Add("final mean E with constraint", withHist[len(withHist)-1], "")
+			r.Add("final mean E without constraint", withoutHist[len(withoutHist)-1], "")
+			r.Notes = "the two objectives are not directly comparable (the constrained E carries extra " +
+				"non-negative penalty terms); the paper's speed claim shows up as layout quality — see the " +
+				"single-descent error means in fig22 — while both mean objectives plateau far above their " +
+				"global minima at this budget, i.e. the unconstrained minimization 'fails to converge' as in Figure 19/22"
+			return r, nil
+		},
 	}
-	_, withoutHist, err := townSingleDescents(seed, 0, nDescents, iters)
-	if err != nil {
-		return nil, err
-	}
-	const epoch = 50 // gradient steps per plotted epoch
-	sample := func(h []float64) []SeriesPoint {
-		var pts []SeriesPoint
-		for i := 0; i < len(h) && len(pts) <= 50; i += epoch {
-			pts = append(pts, SeriesPoint{X: float64(i / epoch), Y: h[i]})
-		}
-		return pts
-	}
-	r := &Result{
-		ID:         "fig23",
-		Title:      "Mean objective vs epoch, with and without the soft constraint",
-		PaperClaim: "the soft constraint greatly reduces the time to reach a global minimum",
-	}
-	r.Series = append(r.Series,
-		Series{Name: "mean E with constraint", Points: sample(withHist)},
-		Series{Name: "mean E without constraint", Points: sample(withoutHist)},
-	)
-	r.Add("final mean E with constraint", withHist[len(withHist)-1], "")
-	r.Add("final mean E without constraint", withoutHist[len(withoutHist)-1], "")
-	r.Notes = "the two objectives are not directly comparable (the constrained E carries extra " +
-		"non-negative penalty terms); the paper's speed claim shows up as layout quality — see the " +
-		"single-descent error means in fig22 — while both mean objectives plateau far above their " +
-		"global minima at this budget, i.e. the unconstrained minimization 'fails to converge' as in Figure 19/22"
-	return r, nil
 }

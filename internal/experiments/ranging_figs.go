@@ -14,6 +14,13 @@ import (
 	"resilientloc/internal/stats"
 )
 
+// runFigure executes a campaign builder through the engine with default
+// parallelism; the per-figure exported functions below are thin wrappers
+// over their campaigns.
+func runFigure(build func(int64) engine.Campaign[*Result], seed int64) (*Result, error) {
+	return Experiment{Campaign: build}.Run(seed)
+}
+
 // urbanDeployment builds the 60-node urban evaluation layout of Section 3.3:
 // nodes scattered over ~70×70 m with distances up to 30 m in play.
 func urbanDeployment(rng *rand.Rand) (*deploy.Deployment, error) {
@@ -29,127 +36,100 @@ func grassGrid46() *deploy.Deployment {
 	return d
 }
 
-// signedErrors collects measured-minus-true errors for all directed raw
-// readings.
-func signedErrors(raw *measure.Raw, dep *deploy.Deployment) []float64 {
-	var errs []float64
-	for _, k := range raw.DirectedPairs() {
-		truth := dep.Positions[k[0]].Dist(dep.Positions[k[1]])
-		for _, d := range raw.Readings(k[0], k[1]) {
-			errs = append(errs, d-truth)
-		}
-	}
-	return errs
-}
-
-func addErrorStats(r *Result, errs []float64) error {
-	s, err := stats.Summarize(errs)
-	if err != nil {
-		return err
-	}
-	r.Add("measurements", float64(s.N), "")
-	r.Add("median |error|", s.AbsMed, "m")
-	r.Add("mean error", s.Mean, "m")
-	r.Add("max |error|", math.Max(math.Abs(s.Min), math.Abs(s.Max)), "m")
-	r.Add("fraction |error| > 1 m", s.Frac1m, "")
-	var under, over int
-	for _, e := range errs {
-		if e < -1 {
-			under++
-		} else if e > 1 {
-			over++
-		}
-	}
-	if under+over > 0 {
-		r.Add("underestimate share of large errors", float64(under)/float64(under+over), "")
-	}
-	return nil
-}
-
 // Fig02BaselineRangingUrban reproduces Figure 2: baseline acoustic ranging
 // on a 60-node urban deployment, distances up to 30 m. The paper's plot
 // shows many >1 m errors, predominantly underestimates from echoes and
 // noise picked up before the true chirp.
 func Fig02BaselineRangingUrban(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	dep, err := urbanDeployment(rng)
-	if err != nil {
-		return nil, err
-	}
-	svc, err := ranging.NewService(ranging.BaselineConfig(acoustics.Urban()), dep, rng)
-	if err != nil {
-		return nil, err
-	}
-	raw, err := svc.Campaign(1, 30)
-	if err != nil {
-		return nil, err
-	}
-	errs := signedErrors(raw, dep)
-	r := &Result{
-		ID:    "fig02",
-		Title: "Baseline ranging errors, urban 60-node deployment (≤30 m)",
-		PaperClaim: "many measurements with >1 m error; most large errors are " +
-			"underestimates from echoes/noise detected before the chirp",
-	}
-	if err := addErrorStats(r, errs); err != nil {
-		return nil, err
-	}
-	hist, err := histogramSeries(errs, -12, 12, 24)
-	if err != nil {
-		return nil, err
-	}
-	r.Series = append(r.Series, Series{Name: "error histogram (m, count)", Points: hist})
-	return r, nil
+	return runFigure(fig02Campaign, seed)
+}
+
+func fig02Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig02", func(t *engine.T) (*Result, error) {
+		dep, err := urbanDeployment(t.RNG)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := ranging.NewService(ranging.BaselineConfig(acoustics.Urban()), dep, t.RNG)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := svc.Campaign(1, 30)
+		if err != nil {
+			return nil, err
+		}
+		errs := raw.SignedErrors(dep)
+		r := &Result{
+			ID:    "fig02",
+			Title: "Baseline ranging errors, urban 60-node deployment (≤30 m)",
+			PaperClaim: "many measurements with >1 m error; most large errors are " +
+				"underestimates from echoes/noise detected before the chirp",
+		}
+		if err := addErrorStats(r, errs); err != nil {
+			return nil, err
+		}
+		hist, err := histogramSeries(errs, -12, 12, 24)
+		if err != nil {
+			return nil, err
+		}
+		r.Series = append(r.Series, Series{Name: "error histogram (m, count)", Points: hist})
+		return r, nil
+	})
 }
 
 // Fig04MedianFiltering reproduces Figure 4: the baseline service with median
 // filtering over up to five repeated measurements per pair, which removes
 // most uncorrelated large errors.
 func Fig04MedianFiltering(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	dep, err := urbanDeployment(rng)
-	if err != nil {
-		return nil, err
-	}
-	svc, err := ranging.NewService(ranging.BaselineConfig(acoustics.Urban()), dep, rng)
-	if err != nil {
-		return nil, err
-	}
-	raw, err := svc.Campaign(5, 30)
-	if err != nil {
-		return nil, err
-	}
+	return runFigure(fig04Campaign, seed)
+}
 
-	rawErrs := signedErrors(raw, dep)
-	rawSummary, err := stats.Summarize(rawErrs)
-	if err != nil {
-		return nil, err
-	}
+func fig04Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig04", func(t *engine.T) (*Result, error) {
+		dep, err := urbanDeployment(t.RNG)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := ranging.NewService(ranging.BaselineConfig(acoustics.Urban()), dep, t.RNG)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := svc.Campaign(5, 30)
+		if err != nil {
+			return nil, err
+		}
 
-	directed := raw.Filter(measure.FilterMedian, 0)
-	var filtErrs []float64
-	for k, d := range directed {
-		truth := dep.Positions[k[0]].Dist(dep.Positions[k[1]])
-		filtErrs = append(filtErrs, d-truth)
-	}
-	filtSummary, err := stats.Summarize(filtErrs)
-	if err != nil {
-		return nil, err
-	}
+		rawErrs := raw.SignedErrors(dep)
+		rawSummary, err := stats.Summarize(rawErrs)
+		if err != nil {
+			return nil, err
+		}
 
-	r := &Result{
-		ID:         "fig04",
-		Title:      "Baseline ranging with median filtering of ≤5 measurements, urban",
-		PaperClaim: "median filtering visibly thins the large-error population of Figure 2",
-	}
-	r.Add("raw fraction |error| > 1 m", rawSummary.Frac1m, "")
-	r.Add("filtered fraction |error| > 1 m", filtSummary.Frac1m, "")
-	r.Add("raw median |error|", rawSummary.AbsMed, "m")
-	r.Add("filtered median |error|", filtSummary.AbsMed, "m")
-	if filtSummary.Frac1m > rawSummary.Frac1m {
-		r.Notes = "REGRESSION: filtering increased the large-error fraction"
-	}
-	return r, nil
+		directed := raw.Filter(measure.FilterMedian, 0)
+		var filtErrs []float64
+		for k, d := range directed {
+			truth := dep.Positions[k[0]].Dist(dep.Positions[k[1]])
+			filtErrs = append(filtErrs, d-truth)
+		}
+		filtSummary, err := stats.Summarize(filtErrs)
+		if err != nil {
+			return nil, err
+		}
+
+		r := &Result{
+			ID:         "fig04",
+			Title:      "Baseline ranging with median filtering of ≤5 measurements, urban",
+			PaperClaim: "median filtering visibly thins the large-error population of Figure 2",
+		}
+		r.Add("raw fraction |error| > 1 m", rawSummary.Frac1m, "")
+		r.Add("filtered fraction |error| > 1 m", filtSummary.Frac1m, "")
+		r.Add("raw median |error|", rawSummary.AbsMed, "m")
+		r.Add("filtered median |error|", filtSummary.AbsMed, "m")
+		if filtSummary.Frac1m > rawSummary.Frac1m {
+			r.Notes = "REGRESSION: filtering increased the large-error fraction"
+		}
+		return r, nil
+	})
 }
 
 // grassCampaign runs the refined-service campaign of Section 3.6 and
@@ -171,34 +151,39 @@ func grassCampaign(rng *rand.Rand, rounds int) (*measure.Raw, *deploy.Deployment
 // error histogram on the 46-node grass grid — a zero-mean ±30 cm core with
 // rare large-magnitude outliers (paper: up to 11 m).
 func Fig06RefinedErrorHistogram(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	raw, dep, err := grassCampaign(rng, 3)
-	if err != nil {
-		return nil, err
-	}
-	errs := signedErrors(raw, dep)
-	r := &Result{
-		ID:    "fig06",
-		Title: "Refined ranging error histogram, 46-node grass grid (≤20 m)",
-		PaperClaim: "approximately zero-mean bell-shaped core within ±30 cm; " +
-			"several large-magnitude outliers (up to 11 m); smaller errors cluster right",
-	}
-	if err := addErrorStats(r, errs); err != nil {
-		return nil, err
-	}
-	var core int
-	for _, e := range errs {
-		if math.Abs(e) <= 0.3 {
-			core++
+	return runFigure(fig06Campaign, seed)
+}
+
+func fig06Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig06", func(t *engine.T) (*Result, error) {
+		raw, dep, err := grassCampaign(t.RNG, 3)
+		if err != nil {
+			return nil, err
 		}
-	}
-	r.Add("fraction within ±30 cm", float64(core)/float64(len(errs)), "")
-	hist, err := histogramSeries(errs, -3, 3, 30)
-	if err != nil {
-		return nil, err
-	}
-	r.Series = append(r.Series, Series{Name: "error histogram (m, count)", Points: hist})
-	return r, nil
+		errs := raw.SignedErrors(dep)
+		r := &Result{
+			ID:    "fig06",
+			Title: "Refined ranging error histogram, 46-node grass grid (≤20 m)",
+			PaperClaim: "approximately zero-mean bell-shaped core within ±30 cm; " +
+				"several large-magnitude outliers (up to 11 m); smaller errors cluster right",
+		}
+		if err := addErrorStats(r, errs); err != nil {
+			return nil, err
+		}
+		var core int
+		for _, e := range errs {
+			if math.Abs(e) <= 0.3 {
+				core++
+			}
+		}
+		r.Add("fraction within ±30 cm", float64(core)/float64(len(errs)), "")
+		hist, err := histogramSeries(errs, -3, 3, 30)
+		if err != nil {
+			return nil, err
+		}
+		r.Series = append(r.Series, Series{Name: "error histogram (m, count)", Points: hist})
+		return r, nil
+	})
 }
 
 // Fig07BidirectionalFilter reproduces Figure 7: restricting to pairs with
@@ -206,226 +191,260 @@ func Fig06RefinedErrorHistogram(seed int64) (*Result, error) {
 // outliers ("most of these errors are eliminated with the bidirectional
 // consistency check").
 func Fig07BidirectionalFilter(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	raw, dep, err := grassCampaign(rng, 3)
-	if err != nil {
-		return nil, err
-	}
-	allErrs := signedErrors(raw, dep)
-	allSummary, err := stats.Summarize(allErrs)
-	if err != nil {
-		return nil, err
-	}
+	return runFigure(fig07Campaign, seed)
+}
 
-	directed := raw.Filter(measure.FilterMedian, 0)
-	opt := measure.DefaultMergeOptions()
-	opt.RequireBidirectional = true
-	set, err := measure.Merge(dep.N(), directed, opt)
-	if err != nil {
-		return nil, err
-	}
-	bidirErrs, err := set.Errors(dep)
-	if err != nil {
-		return nil, err
-	}
-	bidirSummary, err := stats.Summarize(bidirErrs)
-	if err != nil {
-		return nil, err
-	}
+func fig07Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig07", func(t *engine.T) (*Result, error) {
+		raw, dep, err := grassCampaign(t.RNG, 3)
+		if err != nil {
+			return nil, err
+		}
+		allErrs := raw.SignedErrors(dep)
+		allSummary, err := stats.Summarize(allErrs)
+		if err != nil {
+			return nil, err
+		}
 
-	r := &Result{
-		ID:         "fig07",
-		Title:      "Error histogram restricted to bidirectional-consistent pairs",
-		PaperClaim: "the bidirectional consistency check eliminates most large-magnitude errors",
-	}
-	r.Add("all measurements", float64(allSummary.N), "")
-	r.Add("bidirectional pairs", float64(bidirSummary.N), "")
-	r.Add("all fraction |error| > 1 m", allSummary.Frac1m, "")
-	r.Add("bidirectional fraction |error| > 1 m", bidirSummary.Frac1m, "")
-	r.Add("all max |error|", math.Max(math.Abs(allSummary.Min), math.Abs(allSummary.Max)), "m")
-	r.Add("bidirectional max |error|", math.Max(math.Abs(bidirSummary.Min), math.Abs(bidirSummary.Max)), "m")
-	return r, nil
+		directed := raw.Filter(measure.FilterMedian, 0)
+		opt := measure.DefaultMergeOptions()
+		opt.RequireBidirectional = true
+		set, err := measure.Merge(dep.N(), directed, opt)
+		if err != nil {
+			return nil, err
+		}
+		bidirErrs, err := set.Errors(dep)
+		if err != nil {
+			return nil, err
+		}
+		bidirSummary, err := stats.Summarize(bidirErrs)
+		if err != nil {
+			return nil, err
+		}
+
+		r := &Result{
+			ID:         "fig07",
+			Title:      "Error histogram restricted to bidirectional-consistent pairs",
+			PaperClaim: "the bidirectional consistency check eliminates most large-magnitude errors",
+		}
+		r.Add("all measurements", float64(allSummary.N), "")
+		r.Add("bidirectional pairs", float64(bidirSummary.N), "")
+		r.Add("all fraction |error| > 1 m", allSummary.Frac1m, "")
+		r.Add("bidirectional fraction |error| > 1 m", bidirSummary.Frac1m, "")
+		r.Add("all max |error|", math.Max(math.Abs(allSummary.Min), math.Abs(allSummary.Max)), "m")
+		r.Add("bidirectional max |error|", math.Max(math.Abs(bidirSummary.Min), math.Abs(bidirSummary.Max)), "m")
+		return r, nil
+	})
 }
 
 // Fig08ErrorVsDistance reproduces Figure 8: measured and filtered distance
 // estimates versus actual distance — large-magnitude errors grow more
 // frequent at longer range.
 func Fig08ErrorVsDistance(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	raw, dep, err := grassCampaign(rng, 3)
-	if err != nil {
-		return nil, err
-	}
+	return runFigure(fig08Campaign, seed)
+}
 
-	// Bucket raw errors by true distance (2 m bins to 20 m).
-	const binW = 2.0
-	type bucket struct {
-		n, large int
-		absSum   float64
-	}
-	buckets := make([]bucket, 10)
-	for _, k := range raw.DirectedPairs() {
-		truth := dep.Positions[k[0]].Dist(dep.Positions[k[1]])
-		bi := int(truth / binW)
-		if bi >= len(buckets) {
-			continue
+func fig08Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig08", func(t *engine.T) (*Result, error) {
+		raw, dep, err := grassCampaign(t.RNG, 3)
+		if err != nil {
+			return nil, err
 		}
-		for _, d := range raw.Readings(k[0], k[1]) {
-			e := d - truth
-			buckets[bi].n++
-			buckets[bi].absSum += math.Abs(e)
-			if math.Abs(e) > 0.5 {
-				buckets[bi].large++
+
+		// Bucket raw errors by true distance (2 m bins to 20 m).
+		const binW = 2.0
+		type bucket struct {
+			n, large int
+			absSum   float64
+		}
+		buckets := make([]bucket, 10)
+		for _, k := range raw.DirectedPairs() {
+			truth := dep.Positions[k[0]].Dist(dep.Positions[k[1]])
+			bi := int(truth / binW)
+			if bi >= len(buckets) {
+				continue
+			}
+			for _, d := range raw.Readings(k[0], k[1]) {
+				e := d - truth
+				buckets[bi].n++
+				buckets[bi].absSum += math.Abs(e)
+				if math.Abs(e) > 0.5 {
+					buckets[bi].large++
+				}
 			}
 		}
-	}
-	var fracSeries, meanAbsSeries []SeriesPoint
-	for i, b := range buckets {
-		if b.n == 0 {
-			continue
+		var fracSeries, meanAbsSeries []SeriesPoint
+		for i, b := range buckets {
+			if b.n == 0 {
+				continue
+			}
+			x := (float64(i) + 0.5) * binW
+			fracSeries = append(fracSeries, SeriesPoint{X: x, Y: float64(b.large) / float64(b.n)})
+			meanAbsSeries = append(meanAbsSeries, SeriesPoint{X: x, Y: b.absSum / float64(b.n)})
 		}
-		x := (float64(i) + 0.5) * binW
-		fracSeries = append(fracSeries, SeriesPoint{X: x, Y: float64(b.large) / float64(b.n)})
-		meanAbsSeries = append(meanAbsSeries, SeriesPoint{X: x, Y: b.absSum / float64(b.n)})
-	}
 
-	r := &Result{
-		ID:         "fig08",
-		Title:      "Ranging error versus actual distance, grass grid",
-		PaperClaim: "large-magnitude errors are more common at longer distances",
-	}
-	r.Series = append(r.Series,
-		Series{Name: "fraction |error|>0.5m per 2m bin", Points: fracSeries},
-		Series{Name: "mean |error| per 2m bin (m)", Points: meanAbsSeries},
-	)
-	if len(fracSeries) >= 2 {
-		r.Add("large-error fraction, nearest bin", fracSeries[0].Y, "")
-		r.Add("large-error fraction, farthest bin", fracSeries[len(fracSeries)-1].Y, "")
-	}
-	return r, nil
+		r := &Result{
+			ID:         "fig08",
+			Title:      "Ranging error versus actual distance, grass grid",
+			PaperClaim: "large-magnitude errors are more common at longer distances",
+		}
+		r.Series = append(r.Series,
+			Series{Name: "fraction |error|>0.5m per 2m bin", Points: fracSeries},
+			Series{Name: "mean |error| per 2m bin (m)", Points: meanAbsSeries},
+		)
+		if len(fracSeries) >= 2 {
+			r.Add("large-error fraction, nearest bin", fracSeries[0].Y, "")
+			r.Add("large-error fraction, farthest bin", fracSeries[len(fracSeries)-1].Y, "")
+		}
+		return r, nil
+	})
 }
 
 // Fig10DFTToneDetection reproduces Figure 10: the sliding-DFT software tone
 // detector applied to a clean and a noisy four-chirp signal. The paper's
 // noisy run detects three of the four chirps with no false positives.
 func Fig10DFTToneDetection(seed int64) (*Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	det := signal.DefaultDFTDetector()
+	return runFigure(fig10Campaign, seed)
+}
 
-	count := func(noise float64) (matched, falsePos int, err error) {
-		cfg := signal.DefaultSynth()
-		cfg.NoiseStd = noise
-		wave, err := cfg.Generate(rng)
-		if err != nil {
-			return 0, 0, err
-		}
-		hits := det.Detect(wave)
-		starts := cfg.ChirpStarts()
-		for _, h := range hits {
-			ok := false
-			for _, s := range starts {
-				if h >= s-signal.SlidingDFTWindow && h <= s+cfg.ChirpLen {
-					ok = true
-					break
+func fig10Campaign(seed int64) engine.Campaign[*Result] {
+	return singleTrial("fig10", func(t *engine.T) (*Result, error) {
+		det := signal.DefaultDFTDetector()
+
+		count := func(noise float64) (matched, falsePos int, err error) {
+			cfg := signal.DefaultSynth()
+			cfg.NoiseStd = noise
+			wave, err := cfg.Generate(t.RNG)
+			if err != nil {
+				return 0, 0, err
+			}
+			hits := det.Detect(wave)
+			starts := cfg.ChirpStarts()
+			for _, h := range hits {
+				ok := false
+				for _, s := range starts {
+					if h >= s-signal.SlidingDFTWindow && h <= s+cfg.ChirpLen {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					matched++
+				} else {
+					falsePos++
 				}
 			}
-			if ok {
-				matched++
-			} else {
-				falsePos++
-			}
+			return matched, falsePos, nil
 		}
-		return matched, falsePos, nil
-	}
 
-	cleanHit, cleanFP, err := count(0)
-	if err != nil {
-		return nil, err
-	}
-	noisyHit, noisyFP, err := count(700)
-	if err != nil {
-		return nil, err
-	}
+		cleanHit, cleanFP, err := count(0)
+		if err != nil {
+			return nil, err
+		}
+		noisyHit, noisyFP, err := count(700)
+		if err != nil {
+			return nil, err
+		}
 
-	r := &Result{
-		ID:         "fig10",
-		Title:      "Sliding-DFT software tone detection, clean vs noisy signal",
-		PaperClaim: "noisy case: three of the four chirps are correctly detected, with no false positives",
-	}
-	r.Add("clean chirps detected (of 4)", float64(cleanHit), "")
-	r.Add("clean false positives", float64(cleanFP), "")
-	r.Add("noisy chirps detected (of 4)", float64(noisyHit), "")
-	r.Add("noisy false positives", float64(noisyFP), "")
-	return r, nil
+		r := &Result{
+			ID:         "fig10",
+			Title:      "Sliding-DFT software tone detection, clean vs noisy signal",
+			PaperClaim: "noisy case: three of the four chirps are correctly detected, with no false positives",
+		}
+		r.Add("clean chirps detected (of 4)", float64(cleanHit), "")
+		r.Add("clean false positives", float64(cleanFP), "")
+		r.Add("noisy chirps detected (of 4)", float64(noisyHit), "")
+		r.Add("noisy false positives", float64(noisyFP), "")
+		return r, nil
+	})
 }
+
+// maxRangeSweepRounds is the number of measurement attempts per sweep point.
+const maxRangeSweepRounds = 40
 
 // MaxRangeSweep reproduces the Section 3.6.2 maximum-range analysis:
 // detection success rate versus distance for grass and pavement at the
-// lowest and the calibrated detection thresholds. Each (environment,
-// threshold) sweep runs as an engine scenario — one trial per distance
-// point, executed concurrently — whose SeedFn reproduces the original
-// serial seed arithmetic, so the figure's numbers are unchanged.
+// lowest and the calibrated detection thresholds.
 func MaxRangeSweep(seed int64) (*Result, error) {
-	r := &Result{
-		ID:    "maxrange",
-		Title: "Detection success versus distance (grass vs pavement, threshold sweep)",
-		PaperClaim: "grass: no detection beyond ~20 m, ~80-85% at 10 m; pavement: most chirps " +
-			"to 35 m, some at 50 m, reliable ~25 m; higher thresholds cost little range",
-	}
-	distances := engine.DefaultMaxRangeDistances()
-	const trials = 40
-	// ShardSize 1 gives one worker per distance point; the figure reads
-	// only TrialScalars, which are trial-indexed and shard-size
-	// independent, so the output does not depend on this choice.
-	runner, err := engine.NewRunner(engine.Config{Seed: seed, ShardSize: 1, KeepTrialValues: true})
-	if err != nil {
-		return nil, err
-	}
-	for _, env := range []acoustics.Environment{acoustics.Grass(), acoustics.Pavement()} {
-		for _, thr := range []uint8{1, 2} {
-			rep, err := runner.Run(engine.MaxRangeScenario(env, thr, distances, trials))
-			if err != nil {
-				return nil, err
-			}
-			rates := rep.TrialScalars["success_rate"]
-			pts := make([]SeriesPoint, len(distances))
-			for i, d := range distances {
-				pts[i] = SeriesPoint{X: d, Y: rates[i]}
-			}
-			r.Series = append(r.Series, Series{
-				Name:   fmt.Sprintf("%s T=%d success rate", env.Name, thr),
-				Points: pts,
-			})
-		}
-	}
-	// Headline metrics: success at the paper's reliability anchors.
-	for _, s := range r.Series {
-		for _, p := range s.Points {
-			switch {
-			case s.Name == "grass T=2 success rate" && p.X == 10:
-				r.Add("grass @10m (T=2)", p.Y, "")
-			case s.Name == "grass T=2 success rate" && p.X == 25:
-				r.Add("grass @25m (T=2)", p.Y, "")
-			case s.Name == "pavement T=2 success rate" && p.X == 25:
-				r.Add("pavement @25m (T=2)", p.Y, "")
-			case s.Name == "pavement T=1 success rate" && p.X == 50:
-				r.Add("pavement @50m (T=1)", p.Y, "")
-			}
-		}
-	}
-	return r, nil
+	return runFigure(maxRangeCampaign, seed)
 }
 
-// histogramSeries bins errs into a (bin center, count) series.
-func histogramSeries(errs []float64, lo, hi float64, bins int) ([]SeriesPoint, error) {
-	h, err := stats.NewHistogram(lo, hi, bins)
-	if err != nil {
-		return nil, err
+// maxRangeCampaign expresses the whole sweep as ONE campaign: trial t
+// measures sweep point (environment t/18, threshold 1+(t/9)%2, distance
+// t%9), so all 36 points run concurrently on the engine. The SeedFn
+// reproduces the original serial experiment's per-point arithmetic
+// (seed + 7·distance + threshold — note it never included the environment),
+// so the figure's numbers are unchanged.
+func maxRangeCampaign(seed int64) engine.Campaign[*Result] {
+	distances := engine.DefaultMaxRangeDistances()
+	envs := []acoustics.Environment{acoustics.Grass(), acoustics.Pavement()}
+	thresholds := []uint8{1, 2}
+	nTrials := len(envs) * len(thresholds) * len(distances)
+	point := func(trial int) (acoustics.Environment, uint8, float64) {
+		block := trial / len(distances)
+		return envs[block/len(thresholds)], thresholds[block%len(thresholds)], distances[trial%len(distances)]
 	}
-	h.AddAll(errs)
-	pts := make([]SeriesPoint, 0, bins)
-	for i, c := range h.Counts {
-		pts = append(pts, SeriesPoint{X: h.BinCenter(i), Y: float64(c)})
+	return engine.Campaign[*Result]{
+		Scenario: engine.Scenario{
+			Name:      "maxrange",
+			Trials:    nTrials,
+			MaxTrials: nTrials,
+			SeedFn: func(s int64, trial int) int64 {
+				_, thr, d := point(trial)
+				return s + int64(d*7) + int64(thr)
+			},
+			Run: func(t *engine.T) error {
+				env, thr, d := point(t.Trial)
+				rate, err := engine.MaxRangePoint(env, thr, d, maxRangeSweepRounds, t.RNG)
+				if err != nil {
+					return err
+				}
+				t.Record("distance_m", d)
+				t.Record("success_rate", rate)
+				return nil
+			},
+		},
+		// One trial per sweep point gets its own worker; the figure reads
+		// only TrialScalars, which are shard-size independent. Trial indices
+		// encode sweep points, so the count is structural.
+		ShardSize:       1,
+		KeepTrialValues: true,
+		FixedTrials:     true,
+		Finalize: func(rep *engine.Report) (*Result, error) {
+			r := &Result{
+				ID:    "maxrange",
+				Title: "Detection success versus distance (grass vs pavement, threshold sweep)",
+				PaperClaim: "grass: no detection beyond ~20 m, ~80-85% at 10 m; pavement: most chirps " +
+					"to 35 m, some at 50 m, reliable ~25 m; higher thresholds cost little range",
+			}
+			rates := rep.TrialScalars["success_rate"]
+			for block := 0; block*len(distances) < nTrials; block++ {
+				env, thr, _ := point(block * len(distances))
+				pts := make([]SeriesPoint, len(distances))
+				for i, d := range distances {
+					pts[i] = SeriesPoint{X: d, Y: rates[block*len(distances)+i]}
+				}
+				r.Series = append(r.Series, Series{
+					Name:   fmt.Sprintf("%s T=%d success rate", env.Name, thr),
+					Points: pts,
+				})
+			}
+			// Headline metrics: success at the paper's reliability anchors.
+			for _, s := range r.Series {
+				for _, p := range s.Points {
+					switch {
+					case s.Name == "grass T=2 success rate" && p.X == 10:
+						r.Add("grass @10m (T=2)", p.Y, "")
+					case s.Name == "grass T=2 success rate" && p.X == 25:
+						r.Add("grass @25m (T=2)", p.Y, "")
+					case s.Name == "pavement T=2 success rate" && p.X == 25:
+						r.Add("pavement @25m (T=2)", p.Y, "")
+					case s.Name == "pavement T=1 success rate" && p.X == 50:
+						r.Add("pavement @50m (T=1)", p.Y, "")
+					}
+				}
+			}
+			return r, nil
+		},
 	}
-	return pts, nil
 }

@@ -246,6 +246,21 @@ func (r *Raw) Readings(src, dst int) []float64 {
 // insertion order.
 func (r *Raw) DirectedPairs() [][2]int { return append([][2]int(nil), r.keys...) }
 
+// SignedErrors returns the measured-minus-true error of every directed raw
+// reading against the deployment's ground-truth positions, in DirectedPairs
+// order. This is the single error-extraction path shared by the figure
+// reproductions and the scenario library.
+func (r *Raw) SignedErrors(dep *deploy.Deployment) []float64 {
+	var errs []float64
+	for _, k := range r.DirectedPairs() {
+		truth := dep.Positions[k[0]].Dist(dep.Positions[k[1]])
+		for _, d := range r.Readings(k[0], k[1]) {
+			errs = append(errs, d-truth)
+		}
+	}
+	return errs
+}
+
 // TotalReadings returns the total number of raw readings stored.
 func (r *Raw) TotalReadings() int {
 	t := 0
