@@ -234,6 +234,40 @@ func benchFigSuite(b *testing.B, workers int) {
 func BenchmarkFigSuiteSerial(b *testing.B)   { benchFigSuite(b, 1) }
 func BenchmarkFigSuiteParallel(b *testing.B) { benchFigSuite(b, runtime.GOMAXPROCS(0)) }
 
+// BenchmarkFigSuiteOverlapped runs the same fast figure subset through the
+// suite scheduler with campaign-level overlap on top of trial-level
+// parallelism, all campaigns drawing from the shared worker budget. The
+// single-trial figures can never fill the machine alone, so overlapping
+// them is where suite wall-clock drops below BenchmarkFigSuiteParallel —
+// and far below BenchmarkFigSuiteSerial — while producing byte-identical
+// results (pinned by the run package's suite tests).
+func BenchmarkFigSuiteOverlapped(b *testing.B) {
+	jobs := make([]enginerun.Job[*experiments.Result], 0, len(fastFigSuite))
+	for _, id := range fastFigSuite {
+		e, ok := experiments.Find(id)
+		if !ok {
+			b.Fatalf("experiment %s not found", id)
+		}
+		jobs = append(jobs, enginerun.Job[*experiments.Result]{Name: e.ID, Build: e.Campaign})
+	}
+	sess, err := enginerun.NewSession(enginerun.Options{
+		Seed:          1,
+		NoCache:       true,
+		SuiteParallel: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range enginerun.ExecuteAll(sess, jobs, nil) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
+
 // BenchmarkFigSuiteCacheHit measures a fully warmed suite pass through the
 // unified runner: every figure is served from the on-disk result cache with
 // zero trial computation, so this is the floor repeated suite runs pay.

@@ -6,11 +6,15 @@
 // Usage:
 //
 //	experiments [-seed N] [-only fig06,fig18] [-parallel W] [-json]
-//	            [-cache DIR | -no-cache] [-progress]
+//	            [-suite-parallel C] [-cache DIR | -no-cache] [-cache-gc=off]
+//	            [-progress]
 //
 // Repeated runs hit the on-disk result cache (keyed by scenario, seed,
 // trial count, shard size, and a fingerprint of the binary) and skip all
-// trial computation; -no-cache forces recomputation.
+// trial computation; -no-cache forces recomputation. -suite-parallel C
+// overlaps up to C independent figure campaigns (0 = GOMAXPROCS) on top of
+// trial-level parallelism, all drawing from one shared worker budget;
+// results and output order are identical at every value.
 package main
 
 import (
@@ -37,6 +41,7 @@ func realMain(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var opts run.Options
 	opts.RegisterCommon(fs)
+	opts.RegisterSuiteParallel(fs)
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	asJSON := fs.Bool("json", false, "emit results as a JSON array")
 	progress := fs.Bool("progress", true, "stream per-figure trial progress to stderr")
@@ -66,21 +71,33 @@ func realMain(args []string, out io.Writer) error {
 		return err
 	}
 
+	jobs := make([]run.Job[*experiments.Result], len(selected))
+	for i, e := range selected {
+		jobs[i] = run.Job[*experiments.Result]{Name: e.ID, Build: e.Campaign}
+	}
 	var results []*experiments.Result
-	for _, e := range selected {
-		res, info, err := run.Execute(sess, e.Campaign)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	var firstErr error
+	// onDone streams each figure in suite order as soon as it (and all its
+	// predecessors) finished, so output bytes match sequential execution.
+	run.ExecuteAll(sess, jobs, func(o run.Outcome[*experiments.Result]) {
+		if o.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", o.Name, o.Err)
+			}
+			return
 		}
-		results = append(results, res)
+		results = append(results, o.Result)
 		if !*asJSON {
-			fmt.Fprint(out, res.Render())
-			status := fmt.Sprintf("elapsed: %v", info.Elapsed.Round(time.Millisecond))
-			if info.Cached {
+			fmt.Fprint(out, o.Result.Render())
+			status := fmt.Sprintf("elapsed: %v", o.Info.Elapsed.Round(time.Millisecond))
+			if o.Info.Cached {
 				status = "cached"
 			}
 			fmt.Fprintf(out, "  (%s)\n\n", status)
 		}
+	})
+	if firstErr != nil {
+		return firstErr
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)

@@ -59,6 +59,33 @@ func TestRunCached(t *testing.T) {
 	}
 }
 
+// TestRunSuiteParallelMatchesSequential checks the CLI's -suite-parallel
+// path emits the figures in the same order with identical bodies; only the
+// per-figure "(elapsed: ...)" status lines may differ between runs.
+func TestRunSuiteParallelMatchesSequential(t *testing.T) {
+	strip := func(s string) string {
+		var kept []string
+		for _, l := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(l, "  (") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	base := []string{"-only", "fig11,fig20,maxrange", "-seed", "1", "-no-cache", "-progress=false"}
+	var sequential, overlapped bytes.Buffer
+	if err := realMain(base, &sequential); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain(append([]string{"-suite-parallel", "3"}, base...), &overlapped); err != nil {
+		t.Fatal(err)
+	}
+	if strip(sequential.String()) != strip(overlapped.String()) {
+		t.Errorf("-suite-parallel output differs from sequential:\n--- sequential ---\n%s--- overlapped ---\n%s",
+			sequential.String(), overlapped.String())
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := realMain([]string{"-only", "fig99"}, &bytes.Buffer{}); err == nil {
 		t.Error("want error for unknown experiment")

@@ -6,15 +6,18 @@
 //
 //	scenarios -list
 //	scenarios -run multilat-town,ranging-grass-refined [-trials N] [-parallel W] [-seed S] [-json]
-//	scenarios -suite multilat [-json]
-//	scenarios -run all [-cache DIR | -no-cache] [-progress]
+//	scenarios -suite multilat [-suite-parallel C] [-json]
+//	scenarios -run all [-cache DIR | -no-cache] [-cache-gc=off] [-progress]
 //
 // All metric aggregates are deterministic per seed at any -parallel value
 // (only the reported worker count and elapsed time vary), which is what
 // makes results cacheable: repeated runs with the same scenario, seed,
 // trial count, and binary are served from the on-disk cache with zero trial
-// computation. Reports stream as each scenario finishes; -progress adds a
-// per-scenario trials-completed counter on stderr for long sweeps.
+// computation. -suite-parallel C overlaps up to C independent scenarios
+// (0 = GOMAXPROCS) on one shared worker budget; aggregates and output order
+// are identical at every value. Reports stream as each scenario finishes;
+// -progress adds a per-scenario trials-completed counter on stderr for long
+// sweeps.
 package main
 
 import (
@@ -46,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	opts.RegisterCommon(fs)
 	opts.RegisterTrials(fs)
 	opts.RegisterShardSize(fs)
+	opts.RegisterSuiteParallel(fs)
 	list := fs.Bool("list", false, "list scenarios and suites, then exit")
 	runNames := fs.String("run", "", "comma-separated scenario names to run, or \"all\"")
 	suite := fs.String("suite", "", "run every scenario of the named suite")
@@ -71,16 +75,34 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	jobs := make([]enginerun.Job[*engine.Report], len(selected))
+	for i, s := range selected {
+		s := s
+		jobs[i] = enginerun.Job[*engine.Report]{
+			Name: s.Name,
+			// Scenarios take their seed from the engine configuration, so
+			// the builder is seed-independent.
+			Build: func(int64) engine.Campaign[*engine.Report] { return engine.ReportCampaign(s) },
+		}
+	}
 	var reports []*engine.Report
-	for _, s := range selected {
-		rep, info, err := enginerun.ExecuteScenario(sess, s)
-		if err != nil {
-			return err
+	var firstErr error
+	// Reports stream in suite order as prefixes complete, so output bytes
+	// match sequential execution at any -suite-parallel value.
+	enginerun.ExecuteAll(sess, jobs, func(o enginerun.Outcome[*engine.Report]) {
+		if o.Err != nil {
+			if firstErr == nil {
+				firstErr = o.Err
+			}
+			return
 		}
-		reports = append(reports, rep)
+		reports = append(reports, o.Result)
 		if !*asJSON {
-			printReport(out, rep, info.Cached)
+			printReport(out, o.Result, o.Info.Cached)
 		}
+	})
+	if firstErr != nil {
+		return firstErr
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -87,6 +88,27 @@ func TestRunCachedScenario(t *testing.T) {
 	}
 	if !strings.Contains(progress.String(), "2/2 trials") {
 		t.Errorf("progress stream missing trial counter: %q", progress.String())
+	}
+}
+
+// TestRunSuiteParallelMatchesSequential runs a whole suite overlapped and
+// sequentially: every deterministic byte must match; only the per-run
+// "W workers, E.EEs" header fragment may differ.
+func TestRunSuiteParallelMatchesSequential(t *testing.T) {
+	normalize := func(s string) string {
+		return regexp.MustCompile(`\d+ workers, \d+\.\d+s`).ReplaceAllString(s, "N workers")
+	}
+	base := []string{"-suite", "multilat", "-trials", "2", "-seed", "3", "-no-cache"}
+	var sequential, overlapped bytes.Buffer
+	if err := run(base, &sequential); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-suite-parallel", "0"}, base...), &overlapped); err != nil {
+		t.Fatal(err)
+	}
+	if normalize(sequential.String()) != normalize(overlapped.String()) {
+		t.Errorf("-suite-parallel output differs from sequential:\n--- sequential ---\n%s--- overlapped ---\n%s",
+			sequential.String(), overlapped.String())
 	}
 }
 

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Budget is a pool of worker slots shared by concurrently running Runners.
+// Each runner's workers acquire one slot per shard and release it when the
+// shard's trials finish, so N overlapped campaigns together execute at most
+// Cap() shards at a time instead of each spawning its own full worker pool.
+//
+// The budget bounds only *when* shards execute, never *what* they compute:
+// shard partitions and the shard-ordered merge are independent of
+// scheduling, so budgeted runs produce byte-identical reports (only
+// Report.Workers and Report.ElapsedSeconds reflect the actual run).
+type Budget struct {
+	slots chan struct{}
+}
+
+// NewBudget returns a budget of n worker slots (values below 1 are clamped
+// to 1 so a budget can never deadlock its holders).
+func NewBudget(n int) *Budget {
+	if n < 1 {
+		n = 1
+	}
+	return &Budget{slots: make(chan struct{}, n)}
+}
+
+// Cap returns the number of slots in the budget.
+func (b *Budget) Cap() int { return cap(b.slots) }
+
+// acquire blocks until a slot is free and claims it.
+func (b *Budget) acquire() { b.slots <- struct{}{} }
+
+// release returns a previously acquired slot.
+func (b *Budget) release() { <-b.slots }
+
+var (
+	sharedBudgetOnce sync.Once
+	sharedBudget     *Budget
+)
+
+// SharedBudget returns the process-wide worker budget, sized to GOMAXPROCS
+// at first use. The unified campaign runner (internal/engine/run) attaches
+// it to every engine Config so that overlapped suite campaigns — and even a
+// -parallel value above the core count — share the machine instead of
+// oversubscribing it.
+func SharedBudget() *Budget {
+	sharedBudgetOnce.Do(func() {
+		sharedBudget = NewBudget(runtime.GOMAXPROCS(0))
+	})
+	return sharedBudget
+}

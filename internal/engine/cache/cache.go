@@ -15,7 +15,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Key identifies one deterministic campaign execution.
@@ -120,7 +123,103 @@ func (c *Cache) Get(k Key, out any) (bool, error) {
 	if err := json.Unmarshal(e.Value, out); err != nil {
 		return false, fmt.Errorf("cache: decode value for %s: %w", k.Scenario, err)
 	}
+	// Refresh the entry's mtime (best-effort) so the age- and size-bounded
+	// GC evicts by last use, not creation time — a daily-hit entry must
+	// never age out while cold ones do.
+	now := time.Now()
+	_ = os.Chtimes(c.path(k), now, now)
 	return true, nil
+}
+
+// GCResult summarizes one cache sweep.
+type GCResult struct {
+	// Scanned is the number of entries examined.
+	Scanned int
+	// Removed is the number of entries deleted.
+	Removed int
+	// RemainingBytes is the total size of the entries kept.
+	RemainingBytes int64
+}
+
+// gcStampName marks the last completed sweep; its mtime throttles MaybeGC.
+const gcStampName = ".gc-stamp"
+
+// GC sweeps the cache directory: entries older than maxAge are removed
+// (maxAge <= 0 disables the age bound), and if the surviving entries still
+// exceed maxBytes in total they are removed oldest-first until under the
+// bound (maxBytes <= 0 disables the size bound). Entries fingerprinted by
+// binaries that no longer exist have no reachable key, so age is the only
+// signal that they are dead — this is the eviction path that keeps the
+// directory from growing forever across rebuilds. Leftover temp files from
+// interrupted Puts are removed once they are stale.
+func (c *Cache) GC(maxAge time.Duration, maxBytes int64) (GCResult, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return GCResult{}, fmt.Errorf("cache: gc: %w", err)
+	}
+	type file struct {
+		path string
+		mod  time.Time
+		size int64
+	}
+	var res GCResult
+	var files []file
+	now := time.Now()
+	for _, de := range entries {
+		name := de.Name()
+		fi, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent removal
+		}
+		if strings.HasPrefix(name, "put-") {
+			// An interrupted Put's temp file; give in-flight writes an hour.
+			if now.Sub(fi.ModTime()) > time.Hour {
+				_ = os.Remove(filepath.Join(c.dir, name))
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue // the stamp file and anything foreign
+		}
+		files = append(files, file{path: filepath.Join(c.dir, name), mod: fi.ModTime(), size: fi.Size()})
+	}
+	res.Scanned = len(files)
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	var total int64
+	kept := files[:0]
+	for _, f := range files {
+		if maxAge > 0 && now.Sub(f.mod) > maxAge {
+			_ = os.Remove(f.path)
+			res.Removed++
+			continue
+		}
+		kept = append(kept, f)
+		total += f.size
+	}
+	for i := 0; maxBytes > 0 && total > maxBytes && i < len(kept); i++ {
+		_ = os.Remove(kept[i].path)
+		res.Removed++
+		total -= kept[i].size
+	}
+	res.RemainingBytes = total
+	return res, nil
+}
+
+// MaybeGC runs GC at most once per minInterval per cache directory (tracked
+// by a stamp file's mtime), so sessions can invoke it opportunistically
+// without paying a directory sweep on every run. The boolean reports whether
+// a sweep actually ran.
+func (c *Cache) MaybeGC(minInterval, maxAge time.Duration, maxBytes int64) (GCResult, bool, error) {
+	stamp := filepath.Join(c.dir, gcStampName)
+	if fi, err := os.Stat(stamp); err == nil && time.Since(fi.ModTime()) < minInterval {
+		return GCResult{}, false, nil
+	}
+	// Stamp before sweeping so concurrent sessions don't all pay the sweep.
+	if err := os.WriteFile(stamp, nil, 0o644); err != nil {
+		return GCResult{}, false, fmt.Errorf("cache: gc stamp: %w", err)
+	}
+	res, err := c.GC(maxAge, maxBytes)
+	return res, true, err
 }
 
 // Put stores v under k, writing atomically (temp file + rename) so readers

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func testKey() Key {
@@ -98,5 +99,121 @@ func TestFingerprintStable(t *testing.T) {
 func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Error("want error for empty cache dir")
+	}
+}
+
+// putAged stores an entry under a seed-varied key and backdates its file.
+func putAged(t *testing.T, c *Cache, seed int64, age time.Duration) Key {
+	t.Helper()
+	k := testKey()
+	k.Seed = seed
+	if err := c.Put(k, payload{Name: "x", Values: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(c.path(k), when, when); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func hits(t *testing.T, c *Cache, k Key) bool {
+	t.Helper()
+	hit, err := c.Get(k, &payload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hit
+}
+
+func TestGCRemovesAgedEntries(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := putAged(t, c, 1, 48*time.Hour)
+	fresh := putAged(t, c, 2, time.Minute)
+	res, err := c.GC(24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 2 || res.Removed != 1 {
+		t.Errorf("GC = %+v, want 2 scanned 1 removed", res)
+	}
+	if hits(t, c, old) {
+		t.Error("aged entry survived GC")
+	}
+	if !hits(t, c, fresh) {
+		t.Error("fresh entry removed by age-bounded GC")
+	}
+}
+
+func TestGCEnforcesSizeBoundOldestFirst(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldest := putAged(t, c, 1, 3*time.Hour)
+	middle := putAged(t, c, 2, 2*time.Hour)
+	newest := putAged(t, c, 3, time.Hour)
+	fi, err := os.Stat(c.path(newest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Room for roughly two same-sized entries: the oldest must go first.
+	res, err := c.GC(0, 2*fi.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 1 || res.RemainingBytes > 2*fi.Size() {
+		t.Errorf("GC = %+v, want 1 removed within %d bytes", res, 2*fi.Size())
+	}
+	if hits(t, c, oldest) {
+		t.Error("oldest entry survived size-bounded GC")
+	}
+	if !hits(t, c, middle) || !hits(t, c, newest) {
+		t.Error("size-bounded GC removed more than the oldest entry")
+	}
+}
+
+// TestGetRefreshesAgeForGC: a hit must reset the entry's GC clock, so hot
+// entries never age out while cold ones do.
+func TestGetRefreshesAgeForGC(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := putAged(t, c, 1, 48*time.Hour)
+	cold := putAged(t, c, 2, 48*time.Hour)
+	if !hits(t, c, hot) {
+		t.Fatal("aged entry missed before GC")
+	}
+	if _, err := c.GC(24*time.Hour, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !hits(t, c, hot) {
+		t.Error("recently hit entry aged out")
+	}
+	if hits(t, c, cold) {
+		t.Error("cold entry of the same age survived")
+	}
+}
+
+func TestMaybeGCThrottlesByStamp(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	putAged(t, c, 1, 48*time.Hour)
+	res, ran, err := c.MaybeGC(time.Hour, 24*time.Hour, 0)
+	if err != nil || !ran || res.Removed != 1 {
+		t.Fatalf("first MaybeGC: ran=%v removed=%d err=%v, want a sweep removing 1", ran, res.Removed, err)
+	}
+	survivor := putAged(t, c, 2, 48*time.Hour)
+	if _, ran, err := c.MaybeGC(time.Hour, 24*time.Hour, 0); err != nil || ran {
+		t.Fatalf("second MaybeGC within interval: ran=%v err=%v, want throttled", ran, err)
+	}
+	if !hits(t, c, survivor) {
+		t.Error("throttled MaybeGC still removed an entry")
 	}
 }

@@ -1,0 +1,186 @@
+package run
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// progress renders streaming per-campaign trial counters for a session. On
+// an interactive terminal it maintains an in-place status block with one
+// line per active campaign (rewritten with ANSI cursor movement, so
+// overlapped suite campaigns each own a line and completed campaigns scroll
+// away above the block). On any other writer — CI logs, files, pipes — it
+// emits newline-delimited milestone lines instead (each completed quarter
+// of a campaign, plus completion), which keeps logs readable: carriage
+// returns would fold a whole run into one unreadable mega-line and would
+// interleave mid-line across concurrent campaigns.
+type progress struct {
+	w   io.Writer
+	tty bool
+
+	mu         sync.Mutex
+	order      []string          // active campaigns in registration order
+	lines      map[string]string // latest rendered line per active campaign
+	milestones map[string]int    // last quarter emitted per campaign (non-TTY)
+	drawn      int               // lines the TTY status block currently occupies
+	suspended  bool              // block erased while other output is printing
+	pending    []string          // permanent lines queued during suspension
+}
+
+// newProgress returns a renderer for w, or nil when progress is off.
+func newProgress(w io.Writer) *progress {
+	if w == nil {
+		return nil
+	}
+	return &progress{
+		w:          w,
+		tty:        isTTY(w),
+		lines:      make(map[string]string),
+		milestones: make(map[string]int),
+	}
+}
+
+// isTTY reports whether w is an interactive terminal. Only an *os.File can
+// be one; the character-device check needs no platform dependencies.
+func isTTY(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// progressLine is the shared one-campaign counter format.
+func progressLine(name string, done, total int) string {
+	return fmt.Sprintf("%-28s %4d/%d trials", name, done, total)
+}
+
+// callback returns the engine progress callback for one campaign, or nil
+// when progress is off. Safe for concurrent campaigns: every write is made
+// under the renderer's lock, one complete line at a time.
+func (p *progress) callback(name string) func(done, total int) {
+	if p == nil {
+		return nil
+	}
+	return func(done, total int) { p.update(name, done, total) }
+}
+
+func (p *progress) update(name string, done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.tty {
+		// Milestones: emit one line whenever the campaign crosses into a
+		// new quarter of its total. done is monotonic per campaign, so at
+		// most four lines appear and their counters never go backwards.
+		q := 4
+		if total > 0 {
+			q = 4 * done / total
+		}
+		if q > p.milestones[name] {
+			p.milestones[name] = q
+			fmt.Fprintf(p.w, "%s\n", progressLine(name, done, total))
+		}
+		return
+	}
+	if _, ok := p.lines[name]; !ok {
+		p.order = append(p.order, name)
+	}
+	p.lines[name] = progressLine(name, done, total)
+	var permanent []string
+	if done == total {
+		permanent = append(permanent, p.lines[name])
+		p.removeLocked(name)
+	}
+	if p.suspended {
+		p.pending = append(p.pending, permanent...)
+		return
+	}
+	p.redrawLocked(permanent)
+}
+
+// suspend erases the TTY status block so the caller can print other output
+// (a finished campaign's report) without the next repaint's cursor-up
+// destroying it; state keeps accumulating until resume repaints the block
+// below whatever was printed. Non-TTY writers need no coordination — their
+// lines are self-contained — so suspension only gates the block.
+func (p *progress) suspend() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.suspended = true
+	if p.tty && p.drawn > 0 {
+		fmt.Fprintf(p.w, "\r\x1b[%dA\x1b[J", p.drawn)
+		p.drawn = 0
+	}
+}
+
+// resume repaints the status block (and flushes completion lines queued
+// while suspended) at the current cursor position.
+func (p *progress) resume() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.suspended = false
+	if p.tty && (len(p.pending) > 0 || len(p.order) > 0) {
+		p.redrawLocked(p.pending)
+		p.pending = nil
+	}
+}
+
+// done retires a campaign from the renderer once its execution returns:
+// an errored campaign leaves the TTY block, and the campaign's milestone
+// state resets so a later re-run in the same session reports afresh.
+func (p *progress) done(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.milestones, name)
+	if l, ok := p.lines[name]; ok {
+		p.removeLocked(name)
+		if p.suspended {
+			p.pending = append(p.pending, l)
+			return
+		}
+		p.redrawLocked([]string{l})
+	}
+}
+
+func (p *progress) removeLocked(name string) {
+	delete(p.lines, name)
+	for i, n := range p.order {
+		if n == name {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// redrawLocked repaints the TTY status block in place: cursor up to the
+// block's first line, erase downward, print any newly permanent lines
+// (completed campaigns), then one line per active campaign.
+func (p *progress) redrawLocked(permanent []string) {
+	var b strings.Builder
+	if p.drawn > 0 {
+		fmt.Fprintf(&b, "\r\x1b[%dA\x1b[J", p.drawn)
+	}
+	for _, l := range permanent {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, n := range p.order {
+		b.WriteString(p.lines[n])
+		b.WriteByte('\n')
+	}
+	p.drawn = len(p.order)
+	io.WriteString(p.w, b.String())
+}

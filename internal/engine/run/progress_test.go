@@ -1,0 +1,113 @@
+package run
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// newTTYProgress builds a renderer forced onto the terminal path so the
+// status-block rendering is testable against a plain buffer.
+func newTTYProgress(w *bytes.Buffer) *progress {
+	return &progress{w: w, tty: true, lines: map[string]string{}, milestones: map[string]int{}}
+}
+
+func TestTTYStatusBlockRendersConcurrentCampaigns(t *testing.T) {
+	var buf bytes.Buffer
+	p := newTTYProgress(&buf)
+	a, b := p.callback("alpha"), p.callback("beta")
+
+	a(1, 4)
+	first := buf.String()
+	if strings.Contains(first, "\x1b[") {
+		t.Errorf("first draw should not move the cursor: %q", first)
+	}
+	if !strings.Contains(first, "alpha") || !strings.Contains(first, "1/4 trials") {
+		t.Errorf("first draw missing the campaign line: %q", first)
+	}
+
+	b(1, 2) // both campaigns now own a line in the block
+	if got := buf.String(); !strings.Contains(got, "\x1b[1A\x1b[J") {
+		t.Errorf("second campaign should repaint the one-line block: %q", got)
+	}
+
+	b(2, 2) // beta completes: its line becomes permanent, alpha stays active
+	a(4, 4) // alpha completes: block empties
+	p.done("alpha")
+	p.done("beta")
+
+	out := buf.String()
+	ia := strings.LastIndex(out, "alpha                           4/4 trials")
+	ib := strings.LastIndex(out, "beta                            2/2 trials")
+	if ia < 0 || ib < 0 || ib > ia {
+		t.Errorf("completion lines missing or out of completion order (beta first): %q", out)
+	}
+	if p.drawn != 0 || len(p.order) != 0 {
+		t.Errorf("block not empty after both campaigns finished: drawn=%d order=%v", p.drawn, p.order)
+	}
+}
+
+// TestSuspendProtectsInterleavedOutput: while a report is printing, the
+// block must be erased (so no cursor-up can destroy the report) and updates
+// must accumulate silently, repainting only on resume.
+func TestSuspendProtectsInterleavedOutput(t *testing.T) {
+	var buf bytes.Buffer
+	p := newTTYProgress(&buf)
+	a, b := p.callback("alpha"), p.callback("beta")
+	a(1, 4)
+	b(1, 2)
+
+	p.suspend()
+	if p.drawn != 0 {
+		t.Errorf("suspend left %d drawn block lines", p.drawn)
+	}
+	mark := buf.Len()
+	a(2, 4) // active update while suspended: nothing may be written
+	b(2, 2) // completion while suspended: queued, not written
+	if buf.Len() != mark {
+		t.Errorf("suspended renderer wrote %q", buf.String()[mark:])
+	}
+	buf.Reset()
+	p.resume()
+	out := buf.String()
+	if !strings.Contains(out, "beta") || !strings.Contains(out, "2/2 trials") {
+		t.Errorf("resume did not flush the queued completion line: %q", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2/4 trials") {
+		t.Errorf("resume did not repaint the active block: %q", out)
+	}
+	if strings.Contains(out, "\x1b[") && strings.Index(out, "\x1b[") < strings.Index(out, "beta") {
+		t.Errorf("resume moved the cursor before printing (would erase prior output): %q", out)
+	}
+}
+
+func TestProgressDoneResetsMilestones(t *testing.T) {
+	var buf bytes.Buffer
+	p := newProgress(&buf)
+	cb := p.callback("again")
+	cb(4, 4)
+	p.done("again")
+	cb = p.callback("again")
+	cb(4, 4) // a re-run of the same campaign must report afresh
+	if got := strings.Count(buf.String(), "4/4 trials"); got != 2 {
+		t.Errorf("re-run milestone emitted %d times, want 2: %q", got, buf.String())
+	}
+}
+
+func TestIsTTY(t *testing.T) {
+	if isTTY(&bytes.Buffer{}) {
+		t.Error("a bytes.Buffer is not a terminal")
+	}
+	if isTTY(nil) {
+		t.Error("nil writer is not a terminal")
+	}
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Skipf("cannot open %s: %v", os.DevNull, err)
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 && !isTTY(f) {
+		t.Errorf("%s is a character device but isTTY says no", os.DevNull)
+	}
+}

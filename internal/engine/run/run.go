@@ -4,25 +4,48 @@
 // engine Campaigns (figure reproductions as Campaign[*experiments.Result],
 // library scenarios via engine.ReportCampaign) and hand them to Execute; the
 // session decides whether the cache already holds the answer.
+//
+// Suites of independent campaigns run through ExecuteAll, which overlaps up
+// to Options.SuiteParallel campaigns on top of the engine's trial-level
+// parallelism. Every campaign draws its shard slots from the process-wide
+// engine.SharedBudget, so overlapped campaigns share GOMAXPROCS instead of
+// multiplying worker pools — and because shard partitions and merges are
+// scheduling-independent, results are byte-identical at every overlap
+// factor.
 package run
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"resilientloc/internal/engine"
 	"resilientloc/internal/engine/cache"
 )
 
+// Opportunistic cache-GC policy: at most one sweep per hour per directory,
+// evicting entries untouched for 30 days (long-dead binary fingerprints)
+// or, oldest first, beyond a 512 MiB total.
+const (
+	gcInterval = time.Hour
+	gcMaxAge   = 30 * 24 * time.Hour
+	gcMaxBytes = 512 << 20
+)
+
 // Options carries the execution parameters common to every campaign CLI.
 type Options struct {
 	// Trials overrides each scenario's default trial count when positive.
 	Trials int
-	// Workers is the engine worker-pool size (0 = GOMAXPROCS).
+	// Workers is the engine worker-pool size (0 = GOMAXPROCS). Regardless
+	// of its value, concurrent shard execution is bounded by the shared
+	// worker budget (engine.SharedBudget), sized to GOMAXPROCS.
 	Workers int
 	// Seed is the base seed; all runs are deterministic per seed.
 	Seed int64
@@ -30,23 +53,35 @@ type Options struct {
 	// positive. Aggregates are a pure function of (seed, trials, shard
 	// size), so it is part of every cache key.
 	ShardSize int
+	// SuiteParallel is how many independent campaigns ExecuteAll overlaps:
+	// 1 (the default when registered as a flag) runs them sequentially,
+	// 0 means GOMAXPROCS. Per-campaign results are identical at any value.
+	SuiteParallel int
 	// CacheDir is the result-cache directory; empty selects DefaultCacheDir.
 	CacheDir string
 	// NoCache disables the result cache entirely.
 	NoCache bool
-	// Progress, when non-nil, receives a streaming trials-completed counter
-	// for each campaign as its shards finish.
+	// CacheGC controls the opportunistic cache sweep NewSession runs:
+	// "" or "on" enables it, "off" disables it.
+	CacheGC string
+	// Progress, when non-nil, receives streaming trials-completed updates
+	// for each campaign as its shards finish: an in-place status block on a
+	// terminal, newline-delimited milestone lines elsewhere.
 	Progress io.Writer
+	// Warnings receives non-fatal diagnostics (e.g. a cache entry that no
+	// longer decodes); nil means os.Stderr.
+	Warnings io.Writer
 }
 
 // RegisterCommon registers the flags shared by every campaign CLI:
-// -parallel, -seed, -cache, -no-cache. Flags whose applicability varies
-// (like -trials) have their own Register helpers.
+// -parallel, -seed, -cache, -no-cache, -cache-gc. Flags whose applicability
+// varies (like -trials) have their own Register helpers.
 func (o *Options) RegisterCommon(fs *flag.FlagSet) {
 	fs.IntVar(&o.Workers, "parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 	fs.Int64Var(&o.Seed, "seed", 1, "base random seed (runs are deterministic per seed)")
 	fs.StringVar(&o.CacheDir, "cache", "", "result cache directory (default: the per-user cache dir)")
 	fs.BoolVar(&o.NoCache, "no-cache", false, "disable the on-disk result cache")
+	fs.StringVar(&o.CacheGC, "cache-gc", "on", "opportunistic cache garbage collection (on|off)")
 }
 
 // RegisterTrials registers the -trials override. Scenario CLIs expose it;
@@ -63,6 +98,13 @@ func (o *Options) RegisterShardSize(fs *flag.FlagSet) {
 	fs.IntVar(&o.ShardSize, "shard-size", 0, "trials per aggregation shard (0 = engine default)")
 }
 
+// RegisterSuiteParallel registers the -suite-parallel overlap factor for
+// CLIs that run whole suites.
+func (o *Options) RegisterSuiteParallel(fs *flag.FlagSet) {
+	fs.IntVar(&o.SuiteParallel, "suite-parallel", 1,
+		"independent campaigns to overlap in suite runs (0 = GOMAXPROCS, 1 = sequential; results are identical at any value)")
+}
+
 // DefaultCacheDir returns the per-user cache directory, or "" when the
 // platform provides none (caching is then disabled rather than failing).
 func DefaultCacheDir() string {
@@ -74,18 +116,50 @@ func DefaultCacheDir() string {
 }
 
 // Session executes campaigns under one set of Options, tracking cache use
-// and the number of trials actually computed.
+// and the number of trials actually computed. A session is safe for
+// concurrent Execute calls; ExecuteAll is its suite scheduler.
 type Session struct {
-	opts           Options
-	cache          *cache.Cache
+	opts  Options
+	cache *cache.Cache
+	warn  io.Writer
+	prog  *progress
+
+	mu             sync.Mutex
 	trialsExecuted int
+
+	// keyLocks serializes cache Get→compute→Put per cache key, so a suite
+	// that schedules the same campaign twice computes it once and hands the
+	// second execution a cache hit instead of racing on the entry.
+	keyMu    sync.Mutex
+	keyLocks map[string]*sync.Mutex
 }
 
 // NewSession validates the options and opens the result cache (unless
-// disabled). An unusable default cache directory degrades to cache-off; an
-// explicitly requested directory that cannot be opened is an error.
+// disabled), sweeping old cache entries opportunistically (unless
+// CacheGC is "off"). An unusable default cache directory degrades to
+// cache-off; an explicitly requested directory that cannot be opened is an
+// error.
 func NewSession(opts Options) (*Session, error) {
-	s := &Session{opts: opts}
+	if opts.SuiteParallel < 0 {
+		return nil, fmt.Errorf("run: negative suite parallelism %d", opts.SuiteParallel)
+	}
+	gc := true
+	switch opts.CacheGC {
+	case "", "on":
+	case "off":
+		gc = false
+	default:
+		return nil, fmt.Errorf("run: invalid -cache-gc value %q (want on or off)", opts.CacheGC)
+	}
+	if opts.Warnings == nil {
+		opts.Warnings = os.Stderr
+	}
+	s := &Session{
+		opts:     opts,
+		warn:     opts.Warnings,
+		prog:     newProgress(opts.Progress),
+		keyLocks: make(map[string]*sync.Mutex),
+	}
 	// Validate the engine configuration eagerly so flag errors surface
 	// before any campaign runs.
 	if _, err := engine.NewRunner(s.engineConfig(nil)); err != nil {
@@ -110,12 +184,20 @@ func NewSession(opts Options) (*Session, error) {
 		return s, nil
 	}
 	s.cache = c
+	if gc {
+		// Best-effort: a failed sweep must not block the run.
+		_, _, _ = c.MaybeGC(gcInterval, gcMaxAge, gcMaxBytes)
+	}
 	return s, nil
 }
 
 // TrialsExecuted reports how many trials this session actually computed;
 // cache hits contribute zero.
-func (s *Session) TrialsExecuted() int { return s.trialsExecuted }
+func (s *Session) TrialsExecuted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trialsExecuted
+}
 
 // CacheDir returns the directory of the session's cache, or "" when caching
 // is off.
@@ -144,51 +226,76 @@ func (s *Session) engineConfig(progress func(done, total int)) engine.Config {
 		Seed:      s.opts.Seed,
 		ShardSize: s.opts.ShardSize,
 		Progress:  progress,
+		Budget:    engine.SharedBudget(),
 	}
 }
 
-// progressFunc builds the engine progress callback streaming a
-// trials-completed counter line for the named campaign.
-func (s *Session) progressFunc(name string) func(done, total int) {
-	w := s.opts.Progress
-	if w == nil {
-		return nil
+// lockKey serializes cache access per key hash; the returned function
+// releases the lock.
+func (s *Session) lockKey(hash string) func() {
+	s.keyMu.Lock()
+	m, ok := s.keyLocks[hash]
+	if !ok {
+		m = &sync.Mutex{}
+		s.keyLocks[hash] = m
 	}
-	return func(done, total int) {
-		fmt.Fprintf(w, "\r%-28s %4d/%d trials", name, done, total)
-		if done == total {
-			fmt.Fprintln(w)
-		}
-	}
+	s.keyMu.Unlock()
+	m.Lock()
+	return m.Unlock
+}
+
+// executionMeta is implemented by results (engine.Report) that carry
+// per-invocation execution metadata — worker count and wall time — which
+// must never be cached and replayed as if it described a later run.
+type executionMeta interface {
+	ClearExecutionMeta()
+	SetExecutionMeta(workers int, elapsedSeconds float64)
 }
 
 // Execute runs one campaign through the session: build is invoked with the
 // session's seed (so a campaign can never be computed for one seed and
 // cached under another), then a cache hit returns the stored result with
 // zero trial computation, and a miss runs the campaign on the engine and
-// stores the result.
+// stores the result. Execution metadata (worker count, wall time) is
+// normalized out of cached values and stamped with this invocation's actual
+// values, so a hit reports zero workers and its own lookup time, never the
+// populating run's. Safe for concurrent calls on one session.
 func Execute[R any](s *Session, build func(seed int64) engine.Campaign[R]) (R, Info, error) {
 	var zero R
 	start := time.Now()
 	c := build(s.opts.Seed)
-	runner, err := engine.NewRunner(s.engineConfig(s.progressFunc(c.Scenario.Name)))
+	name := c.Scenario.Name
+	runner, err := engine.NewRunner(s.engineConfig(s.prog.callback(name)))
 	if err != nil {
 		return zero, Info{}, err
 	}
+	defer s.prog.done(name)
 	trials, shardSize := engine.CampaignConfig(runner, c)
 	var key cache.Key
 	if s.cache != nil {
 		// The key (and the whole-binary fingerprint it embeds) is only
 		// worth computing when a cache exists to consult.
 		key = cache.Key{
-			Scenario:    c.Scenario.Name,
+			Scenario:    name,
 			Seed:        s.opts.Seed,
 			Trials:      trials,
 			ShardSize:   shardSize,
 			Fingerprint: cache.Fingerprint(),
 		}
+		unlock := s.lockKey(key.Hash())
+		defer unlock()
 		var res R
-		if hit, err := s.cache.Get(key, &res); err == nil && hit {
+		hit, err := s.cache.Get(key, &res)
+		if err != nil {
+			// The entry parsed but its value no longer decodes into R:
+			// recoverable (we recompute and overwrite it below), but worth
+			// one trace instead of a silent recompute.
+			fmt.Fprintf(s.warn, "warning: %s: discarding undecodable cache entry: %v\n", name, err)
+		}
+		if hit {
+			if m, ok := any(res).(executionMeta); ok {
+				m.SetExecutionMeta(0, time.Since(start).Seconds())
+			}
 			return res, Info{Cached: true, Trials: trials, Elapsed: time.Since(start)}, nil
 		}
 	}
@@ -196,11 +303,23 @@ func Execute[R any](s *Session, build func(seed int64) engine.Campaign[R]) (R, I
 	if err != nil {
 		return zero, Info{}, err
 	}
+	s.mu.Lock()
 	s.trialsExecuted += rep.Trials
+	s.mu.Unlock()
 	if s.cache != nil {
 		// Best-effort: a full disk or unwritable directory must not fail
-		// the run whose result we already hold.
-		_ = s.cache.Put(key, res)
+		// the run whose result we already hold. Execution metadata is
+		// cleared for the stored copy and restored on the returned one.
+		if m, ok := any(res).(executionMeta); ok {
+			// res may alias rep (scenario campaigns), so capture the
+			// values before clearing them for the stored copy.
+			workers, elapsed := rep.Workers, rep.ElapsedSeconds
+			m.ClearExecutionMeta()
+			_ = s.cache.Put(key, res)
+			m.SetExecutionMeta(workers, elapsed)
+		} else {
+			_ = s.cache.Put(key, res)
+		}
 	}
 	return res, Info{Trials: rep.Trials, Elapsed: time.Since(start)}, nil
 }
@@ -210,4 +329,124 @@ func Execute[R any](s *Session, build func(seed int64) engine.Campaign[R]) (R, I
 // builder is seed-independent).
 func ExecuteScenario(s *Session, sc engine.Scenario) (*engine.Report, Info, error) {
 	return Execute(s, func(int64) engine.Campaign[*engine.Report] { return engine.ReportCampaign(sc) })
+}
+
+// Job is one named campaign in a suite run.
+type Job[R any] struct {
+	// Name labels the job in Outcomes; by convention it matches the
+	// campaign scenario's name (experiment ID or library scenario name).
+	Name string
+	// Build constructs the campaign for a seed, exactly as for Execute.
+	Build func(seed int64) engine.Campaign[R]
+}
+
+// Outcome is one job's result.
+type Outcome[R any] struct {
+	Name   string
+	Result R
+	Info   Info
+	Err    error
+}
+
+// ErrSkipped marks a job that never started because an earlier job in the
+// suite failed. Ordered emission guarantees a skipped job is always
+// reported after the genuine failure that caused it.
+var ErrSkipped = errors.New("run: skipped after earlier suite failure")
+
+// ExecuteAll is the suite scheduler: it runs the jobs through the session,
+// overlapping up to Options.SuiteParallel independent campaigns (0 means
+// GOMAXPROCS) on top of the engine's trial-level parallelism, with all
+// campaigns drawing shard slots from the shared worker budget. A failing
+// job stops the suite: no further job starts (campaigns already in flight
+// finish and report), and never-started jobs carry ErrSkipped.
+//
+// The returned slice is in job order (truncated at the failure when running
+// sequentially), and onDone (when non-nil) is invoked exactly once per
+// reported job in job order — job i only after jobs 0..i-1 — so streaming
+// output is identical at every overlap factor. The engine's determinism
+// contract makes each campaign's result byte-identical regardless of
+// overlap. While onDone runs, the TTY progress block is suspended so the
+// callback can print without the next repaint erasing its output.
+func ExecuteAll[R any](s *Session, jobs []Job[R], onDone func(Outcome[R])) []Outcome[R] {
+	overlap := s.opts.SuiteParallel
+	if overlap <= 0 {
+		overlap = runtime.GOMAXPROCS(0)
+	}
+	if overlap > len(jobs) {
+		overlap = len(jobs)
+	}
+	outcomes := make([]Outcome[R], len(jobs))
+	report := func(o Outcome[R]) {
+		if onDone == nil {
+			return
+		}
+		s.prog.suspend()
+		onDone(o)
+		s.prog.resume()
+	}
+	if overlap <= 1 {
+		for i, j := range jobs {
+			outcomes[i] = runJob(s, j)
+			report(outcomes[i])
+			if outcomes[i].Err != nil {
+				return outcomes[:i+1]
+			}
+		}
+		return outcomes
+	}
+	var (
+		mu     sync.Mutex
+		ready  = make([]bool, len(jobs))
+		next   int
+		wg     sync.WaitGroup
+		idx    = make(chan int)
+		failed atomic.Bool
+	)
+	emit := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		ready[i] = true
+		for next < len(jobs) && ready[next] {
+			report(outcomes[next])
+			next++
+		}
+	}
+	for w := 0; w < overlap; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// Re-check on receipt: the dispatcher may have been blocked
+				// handing this index over while another job failed.
+				if failed.Load() {
+					outcomes[i] = Outcome[R]{Name: jobs[i].Name, Err: ErrSkipped}
+				} else if outcomes[i] = runJob(s, jobs[i]); outcomes[i].Err != nil {
+					failed.Store(true)
+				}
+				emit(i)
+			}
+		}()
+	}
+	for i := 0; i < len(jobs); i++ {
+		if failed.Load() {
+			// Don't start anything new; jobs already handed out finish and
+			// report, the rest are marked skipped (their indices are all
+			// above the failed job's, so ordered emission reports the real
+			// failure first).
+			for j := i; j < len(jobs); j++ {
+				outcomes[j] = Outcome[R]{Name: jobs[j].Name, Err: ErrSkipped}
+				emit(j)
+			}
+			break
+		}
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return outcomes
+}
+
+func runJob[R any](s *Session, j Job[R]) Outcome[R] {
+	res, info, err := Execute(s, j.Build)
+	return Outcome[R]{Name: j.Name, Result: res, Info: info, Err: err}
 }

@@ -2,11 +2,16 @@ package run_test
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/cache"
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/experiments"
 )
@@ -162,5 +167,355 @@ func TestSessionRejectsBadOptions(t *testing.T) {
 	}
 	if _, err := run.NewSession(run.Options{Trials: -1}); err == nil {
 		t.Error("want error for negative trials")
+	}
+	if _, err := run.NewSession(run.Options{SuiteParallel: -1}); err == nil {
+		t.Error("want error for negative suite parallelism")
+	}
+	if _, err := run.NewSession(run.Options{CacheGC: "sometimes"}); err == nil {
+		t.Error("want error for invalid cache-gc value")
+	}
+}
+
+// fastFigJobs builds the suite jobs for fastFigs.
+func fastFigJobs(t testing.TB) []run.Job[*experiments.Result] {
+	t.Helper()
+	jobs := make([]run.Job[*experiments.Result], 0, len(fastFigs))
+	for _, id := range fastFigs {
+		e, ok := experiments.Find(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		jobs = append(jobs, run.Job[*experiments.Result]{Name: e.ID, Build: e.Campaign})
+	}
+	return jobs
+}
+
+// TestSuiteParallelMatchesGoldenCorpus is the acceptance check for the
+// suite scheduler: overlapped execution must render every figure
+// byte-identically to the committed golden corpus (which was generated by
+// strictly serial execution) at seeds 1 and 5.
+func TestSuiteParallelMatchesGoldenCorpus(t *testing.T) {
+	goldenDir := filepath.Join("..", "..", "experiments", "testdata", "golden")
+	for _, seed := range []int64{1, 5} {
+		s, err := run.NewSession(run.Options{Seed: seed, NoCache: true, SuiteParallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range run.ExecuteAll(s, fastFigJobs(t), nil) {
+			if o.Err != nil {
+				t.Fatalf("%s: %v", o.Name, o.Err)
+			}
+			want, err := os.ReadFile(filepath.Join(goldenDir, fmt.Sprintf("%s_seed%d.golden", o.Name, seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := o.Result.Render(); got != string(want) {
+				t.Errorf("%s seed %d under -suite-parallel 4 diverged from golden output\n--- got ---\n%s--- want ---\n%s",
+					o.Name, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestSuiteParallelByteIdenticalAndOrdered runs the same suite at several
+// overlap factors and checks (a) rendered results are byte-identical to
+// sequential execution and (b) onDone always reports jobs in suite order.
+func TestSuiteParallelByteIdenticalAndOrdered(t *testing.T) {
+	render := func(suiteParallel int) []string {
+		s, err := run.NewSession(run.Options{Seed: 1, NoCache: true, SuiteParallel: suiteParallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order, rendered []string
+		outs := run.ExecuteAll(s, fastFigJobs(t), func(o run.Outcome[*experiments.Result]) {
+			order = append(order, o.Name)
+		})
+		for _, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("%s: %v", o.Name, o.Err)
+			}
+			rendered = append(rendered, o.Result.Render())
+		}
+		if strings.Join(order, ",") != strings.Join(fastFigs, ",") {
+			t.Errorf("suite-parallel %d: onDone order %v, want %v", suiteParallel, order, fastFigs)
+		}
+		return rendered
+	}
+	sequential := render(1)
+	// 0 resolves to GOMAXPROCS (clamped to the job count); 2 exercises a
+	// partial overlap where some job must wait for a scheduler slot.
+	for _, sp := range []int{0, 2} {
+		got := render(sp)
+		for i := range sequential {
+			if got[i] != sequential[i] {
+				t.Errorf("suite-parallel %d: %s differs from sequential output", sp, fastFigs[i])
+			}
+		}
+	}
+}
+
+// TestCacheHitDoesNotReplayExecutionMeta is the regression test for the
+// stale-metadata bug: the run that populates the cache executes with 4
+// workers, and a later hit from a -parallel 1 session must not report those
+// 4 workers or the populating run's wall time — on disk the entry stores
+// neither, and the returned report is stamped with this invocation's
+// values.
+func TestCacheHitDoesNotReplayExecutionMeta(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	sc, _ := engine.Find("multilat-town")
+
+	first, err := run.NewSession(run.Options{Seed: 1, Trials: 8, ShardSize: 1, Workers: 4, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, info, err := run.ExecuteScenario(first, sc)
+	if err != nil || info.Cached {
+		t.Fatalf("populating run: cached=%v err=%v", info.Cached, err)
+	}
+	if rep1.Workers == 0 {
+		t.Fatalf("populating run reports no workers; the fixture needs a parallel run")
+	}
+
+	// The stored entry must hold no execution metadata at all.
+	c, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := cache.Key{Scenario: sc.Name, Seed: 1, Trials: 8, ShardSize: 1, Fingerprint: cache.Fingerprint()}
+	var stored engine.Report
+	if hit, err := c.Get(key, &stored); err != nil || !hit {
+		t.Fatalf("stored entry lookup: hit=%v err=%v", hit, err)
+	}
+	if stored.Workers != 0 || stored.ElapsedSeconds != 0 {
+		t.Errorf("cache stores execution metadata: workers=%d elapsed=%g, want both 0",
+			stored.Workers, stored.ElapsedSeconds)
+	}
+
+	second, err := run.NewSession(run.Options{Seed: 1, Trials: 8, ShardSize: 1, Workers: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, info, err := run.ExecuteScenario(second, sc)
+	if err != nil || !info.Cached {
+		t.Fatalf("hit run: cached=%v err=%v", info.Cached, err)
+	}
+	if rep2.Workers != 0 {
+		t.Errorf("cache hit reports %d workers from the populating run, want 0", rep2.Workers)
+	}
+}
+
+// TestSuiteStopsAfterFailure pins the scheduler's fail-fast contract: the
+// failing job's error is the first one reported, nothing after it starts
+// fresh (sequential truncates; overlapped marks never-started jobs
+// ErrSkipped), and in-flight campaigns still report a usable outcome.
+func TestSuiteStopsAfterFailure(t *testing.T) {
+	sc, _ := engine.Find("multilat-town")
+	okJob := func(name string) run.Job[*engine.Report] {
+		return run.Job[*engine.Report]{Name: name,
+			Build: func(int64) engine.Campaign[*engine.Report] { return engine.ReportCampaign(sc) }}
+	}
+	boom := run.Job[*engine.Report]{Name: "boom",
+		Build: func(int64) engine.Campaign[*engine.Report] {
+			return engine.ReportCampaign(engine.Scenario{
+				Name: "boom", Trials: 2,
+				Run: func(*engine.T) error { return fmt.Errorf("kaboom") },
+			})
+		}}
+	jobs := []run.Job[*engine.Report]{okJob("a"), boom, okJob("b"), okJob("c")}
+
+	seq, err := run.NewSession(run.Options{Seed: 1, Trials: 2, NoCache: true, SuiteParallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := run.ExecuteAll(seq, jobs, nil)
+	if len(outs) != 2 || outs[0].Err != nil || outs[1].Err == nil {
+		t.Fatalf("sequential failure did not truncate the suite: %+v", outs)
+	}
+
+	par, err := run.NewSession(run.Options{Seed: 1, Trials: 2, NoCache: true, SuiteParallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs = run.ExecuteAll(par, jobs, nil)
+	if len(outs) != len(jobs) {
+		t.Fatalf("overlapped suite returned %d outcomes, want %d", len(outs), len(jobs))
+	}
+	if outs[0].Err != nil {
+		t.Errorf("job before the failure errored: %v", outs[0].Err)
+	}
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "kaboom") {
+		t.Errorf("failing job's outcome = %v, want the kaboom error", outs[1].Err)
+	}
+	for _, o := range outs[2:] {
+		if o.Err == nil && o.Result == nil {
+			t.Errorf("job %s has neither a result nor an error", o.Name)
+		}
+		if o.Err != nil && !errors.Is(o.Err, run.ErrSkipped) {
+			t.Errorf("job %s after the failure: %v, want ErrSkipped or success", o.Name, o.Err)
+		}
+	}
+}
+
+// TestCacheGetErrorWarns plants a parseable entry whose value no longer
+// decodes into the expected result type: the session must warn once and
+// fall back to recomputation instead of silently recomputing.
+func TestCacheGetErrorWarns(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	sc, _ := engine.Find("multilat-town")
+	c, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := cache.Key{Scenario: sc.Name, Seed: 1, Trials: 2, ShardSize: engine.DefaultShardSize,
+		Fingerprint: cache.Fingerprint()}
+	if err := c.Put(key, []int{1, 2, 3}); err != nil { // an array cannot decode into a Report
+		t.Fatal(err)
+	}
+
+	var warnings bytes.Buffer
+	s, err := run.NewSession(run.Options{Seed: 1, Trials: 2, CacheDir: dir, Warnings: &warnings})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, info, err := run.ExecuteScenario(s, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Cached {
+		t.Error("undecodable entry served as a cache hit")
+	}
+	if rep == nil || s.TrialsExecuted() != 2 {
+		t.Errorf("fallback recompute did not run: trials=%d", s.TrialsExecuted())
+	}
+	if w := warnings.String(); !strings.Contains(w, "multilat-town") || !strings.Contains(w, "cache") {
+		t.Errorf("undecodable entry produced no warning, got %q", w)
+	}
+
+	// The recompute overwrote the bad entry, so the next run hits cleanly.
+	warnings.Reset()
+	s2, err := run.NewSession(run.Options{Seed: 1, Trials: 2, CacheDir: dir, Warnings: &warnings})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err := run.ExecuteScenario(s2, sc); err != nil || !info.Cached {
+		t.Errorf("after recompute: cached=%v err=%v, want a clean hit", info.Cached, err)
+	}
+	if warnings.Len() != 0 {
+		t.Errorf("clean hit still warned: %q", warnings.String())
+	}
+}
+
+// TestProgressNonTTYNewlines pins the CI-log fix: a non-terminal progress
+// writer receives newline-delimited milestone lines — never a carriage
+// return — with a monotonic counter ending at total/total.
+func TestProgressNonTTYNewlines(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := run.NewSession(run.Options{Seed: 1, Trials: 16, ShardSize: 1, NoCache: true, Progress: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := engine.Find("multilat-town")
+	if _, _, err := run.ExecuteScenario(s, sc); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.ContainsAny(out, "\r\x1b") {
+		t.Errorf("non-TTY progress contains carriage returns or ANSI escapes: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) == 0 || len(lines) > 4 {
+		t.Fatalf("want 1..4 milestone lines, got %d: %q", len(lines), out)
+	}
+	last := -1
+	for _, l := range lines {
+		var done, total int
+		if _, err := fmt.Sscanf(strings.TrimSpace(strings.TrimPrefix(l, "multilat-town")), "%d/%d trials", &done, &total); err != nil {
+			t.Fatalf("unparseable milestone line %q: %v", l, err)
+		}
+		if done <= last || total != 16 {
+			t.Errorf("milestone counters not monotonic toward 16: %q", out)
+		}
+		last = done
+	}
+	if last != 16 {
+		t.Errorf("final milestone %d/16, want 16/16: %q", last, out)
+	}
+}
+
+// TestSessionCacheGCSweepsOldEntries checks NewSession's opportunistic
+// sweep and its -cache-gc=off escape hatch.
+func TestSessionCacheGCSweepsOldEntries(t *testing.T) {
+	newAgedEntry := func(dir string) cache.Key {
+		c, err := cache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := cache.Key{Scenario: "dead", Seed: 9, Trials: 1, ShardSize: 1, Fingerprint: "deadbeef"}
+		if err := c.Put(k, 42); err != nil {
+			t.Fatal(err)
+		}
+		when := time.Now().Add(-45 * 24 * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, k.Hash()+".json"), when, when); err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	lookup := func(dir string, k cache.Key) bool {
+		c, err := cache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v int
+		hit, err := c.Get(k, &v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+
+	offDir := filepath.Join(t.TempDir(), "cache-off")
+	k := newAgedEntry(offDir)
+	if _, err := run.NewSession(run.Options{Seed: 1, CacheDir: offDir, CacheGC: "off"}); err != nil {
+		t.Fatal(err)
+	}
+	if !lookup(offDir, k) {
+		t.Error("-cache-gc=off session still swept the cache")
+	}
+
+	onDir := filepath.Join(t.TempDir(), "cache-on")
+	k = newAgedEntry(onDir)
+	if _, err := run.NewSession(run.Options{Seed: 1, CacheDir: onDir}); err != nil {
+		t.Fatal(err)
+	}
+	if lookup(onDir, k) {
+		t.Error("session with default cache-gc left a 45-day-old entry")
+	}
+}
+
+// TestSuiteParallelSharesCacheSafely schedules the same campaign twice in
+// one overlapped suite: per-key serialization must compute it once and hand
+// the duplicate a cache hit (never a torn or raced entry).
+func TestSuiteParallelSharesCacheSafely(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	s, err := run.NewSession(run.Options{Seed: 1, Trials: 4, CacheDir: dir, SuiteParallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := engine.Find("multilat-town")
+	job := run.Job[*engine.Report]{Name: sc.Name,
+		Build: func(int64) engine.Campaign[*engine.Report] { return engine.ReportCampaign(sc) }}
+	outs := run.ExecuteAll(s, []run.Job[*engine.Report]{job, job}, nil)
+	hits := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		if o.Info.Cached {
+			hits++
+		}
+	}
+	if hits != 1 || s.TrialsExecuted() != 4 {
+		t.Errorf("duplicate campaign: %d cache hits, %d trials executed; want 1 hit and 4 trials",
+			hits, s.TrialsExecuted())
 	}
 }

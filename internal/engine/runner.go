@@ -37,6 +37,12 @@ type Config struct {
 	// serialized but arrive in shard-completion order, which depends on
 	// scheduling; done is monotonically non-decreasing across calls.
 	Progress func(done, total int)
+	// Budget, when non-nil, is a worker-slot pool this run shares with
+	// other concurrently running Runners: each worker acquires one slot per
+	// shard and releases it when the shard finishes, so overlapped campaigns
+	// together stay within the budget instead of multiplying worker pools.
+	// Nil means unbudgeted (the run's own Workers count is the only limit).
+	Budget *Budget
 }
 
 // EffectiveTrials resolves the trial count one Run of s would execute: the
@@ -121,6 +127,21 @@ type Report struct {
 	TrialScalars map[string][]float64   `json:"-"`
 	TrialSeries  map[string][][]float64 `json:"-"`
 	TrialOutputs []any                  `json:"-"`
+}
+
+// ClearExecutionMeta zeroes the fields describing one physical execution
+// (worker count, wall time) rather than the deterministic aggregate. The
+// result cache strips them before storing, so a cache hit can never replay
+// the execution metadata of the run that populated the entry.
+func (r *Report) ClearExecutionMeta() {
+	r.Workers = 0
+	r.ElapsedSeconds = 0
+}
+
+// SetExecutionMeta stamps the execution metadata of the current invocation.
+func (r *Report) SetExecutionMeta(workers int, elapsedSeconds float64) {
+	r.Workers = workers
+	r.ElapsedSeconds = elapsedSeconds
 }
 
 // Metric returns the summary of the named metric, if present.
@@ -309,7 +330,13 @@ func (r *Runner) Run(s Scenario) (*Report, error) {
 				if hi > trials {
 					hi = trials
 				}
+				if r.cfg.Budget != nil {
+					r.cfg.Budget.acquire()
+				}
 				aggs[si] = runShard(s, r.cfg.Seed, lo, hi, r.cfg.KeepTrialValues)
+				if r.cfg.Budget != nil {
+					r.cfg.Budget.release()
+				}
 				if r.cfg.Progress != nil {
 					completed := hi - lo
 					if aggs[si].err != nil {
