@@ -20,6 +20,7 @@ import (
 	"resilientloc/internal/deploy"
 	"resilientloc/internal/engine"
 	enginerun "resilientloc/internal/engine/run"
+	"resilientloc/internal/engine/spec"
 	"resilientloc/internal/eval"
 	"resilientloc/internal/experiments"
 	"resilientloc/internal/geom"
@@ -242,13 +243,13 @@ func BenchmarkFigSuiteParallel(b *testing.B) { benchFigSuite(b, runtime.GOMAXPRO
 // and far below BenchmarkFigSuiteSerial — while producing byte-identical
 // results (pinned by the run package's suite tests).
 func BenchmarkFigSuiteOverlapped(b *testing.B) {
-	jobs := make([]enginerun.Job[*experiments.Result], 0, len(fastFigSuite))
-	for _, id := range fastFigSuite {
-		e, ok := experiments.Find(id)
-		if !ok {
-			b.Fatalf("experiment %s not found", id)
-		}
-		jobs = append(jobs, enginerun.Job[*experiments.Result]{Name: e.ID, Build: e.Campaign})
+	specs := make([]spec.JobSpec, len(fastFigSuite))
+	for i, id := range fastFigSuite {
+		specs[i] = spec.JobSpec{Kind: spec.KindFigure, ID: id, Seed: 1}
+	}
+	jobs, err := spec.ResolveAll(specs)
+	if err != nil {
+		b.Fatal(err)
 	}
 	sess, err := enginerun.NewSession(enginerun.Options{
 		Seed:          1,
@@ -278,11 +279,7 @@ func BenchmarkFigSuiteCacheHit(b *testing.B) {
 	}
 	warm := func(requireHit bool) {
 		for _, id := range fastFigSuite {
-			e, ok := experiments.Find(id)
-			if !ok {
-				b.Fatalf("experiment %s not found", id)
-			}
-			_, info, err := enginerun.Execute(sess, e.Campaign)
+			_, info, err := enginerun.ExecuteSpec(sess, spec.JobSpec{Kind: spec.KindFigure, ID: id, Seed: 1})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,24 +1,33 @@
 // Command experiments regenerates every figure of the paper's evaluation
 // and prints paper-claim-versus-measured results. All figures execute
-// through the engine campaign path shared with cmd/scenarios: same worker
-// pool, same result cache, same streaming progress.
+// through the spec-driven engine campaign path shared with cmd/scenarios
+// and the locd service: same worker pool, same result cache, same streaming
+// progress.
 //
 // Usage:
 //
 //	experiments [-seed N] [-only fig06,fig18] [-parallel W] [-json]
 //	            [-suite-parallel C] [-cache DIR | -no-cache] [-cache-gc=off]
-//	            [-progress]
+//	            [-progress] [-progress-refresh 250ms]
+//	experiments -spec jobs.json
+//
+// Every invocation first compiles its selection into declarative job specs
+// (spec.JobSpec) and executes them through the unified runner; -spec skips
+// the compilation and runs a ready-made spec file (one JSON object or an
+// array of them, kind "figure"), exactly as locd would run the same specs.
 //
 // Repeated runs hit the on-disk result cache (keyed by scenario, seed,
 // trial count, shard size, and a fingerprint of the binary) and skip all
 // trial computation; -no-cache forces recomputation. -suite-parallel C
 // overlaps up to C independent figure campaigns (0 = GOMAXPROCS) on top of
-// trial-level parallelism, all drawing from one shared worker budget;
-// results and output order are identical at every value.
+// trial-level parallelism, all drawing from one shared worker budget, with
+// the largest campaigns dispatched first; results and output order are
+// identical at every value.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"resilientloc/internal/engine/run"
+	"resilientloc/internal/engine/spec"
 	"resilientloc/internal/experiments"
 )
 
@@ -37,12 +47,39 @@ func main() {
 	}
 }
 
+// buildSpecs compiles the CLI selection into figure job specs: from a spec
+// file when -spec is given, else from -only/-seed.
+func buildSpecs(opts run.Options, only, specFile string) ([]spec.JobSpec, error) {
+	if specFile != "" {
+		if only != "" {
+			return nil, fmt.Errorf("use either -only or -spec, not both")
+		}
+		return spec.LoadFileOfKind(specFile, spec.KindFigure)
+	}
+	var ids []string
+	if only == "" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(only, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments.Find(id); !ok {
+				return nil, fmt.Errorf("unknown experiment %q", id)
+			}
+			ids = append(ids, id)
+		}
+	}
+	return opts.Specs(spec.KindFigure, ids), nil
+}
+
 func realMain(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var opts run.Options
 	opts.RegisterCommon(fs)
 	opts.RegisterSuiteParallel(fs)
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	specFile := fs.String("spec", "", "JSON job-spec file to execute instead of -only selection")
 	asJSON := fs.Bool("json", false, "emit results as a JSON array")
 	progress := fs.Bool("progress", true, "stream per-figure trial progress to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -52,43 +89,38 @@ func realMain(args []string, out io.Writer) error {
 		opts.Progress = os.Stderr
 	}
 
-	var selected []experiments.Experiment
-	if *only == "" {
-		selected = experiments.All()
-	} else {
-		for _, id := range strings.Split(*only, ",") {
-			id = strings.TrimSpace(id)
-			e, ok := experiments.Find(id)
-			if !ok {
-				return fmt.Errorf("unknown experiment %q", id)
-			}
-			selected = append(selected, e)
+	if *specFile != "" {
+		if err := run.RejectSpecParameterFlags(fs, "seed"); err != nil {
+			return err
 		}
 	}
-
+	specs, err := buildSpecs(opts, *only, *specFile)
+	if err != nil {
+		return err
+	}
+	jobs, err := spec.ResolveAll(specs)
+	if err != nil {
+		return err
+	}
 	sess, err := run.NewSession(opts)
 	if err != nil {
 		return err
 	}
 
-	jobs := make([]run.Job[*experiments.Result], len(selected))
-	for i, e := range selected {
-		jobs[i] = run.Job[*experiments.Result]{Name: e.ID, Build: e.Campaign}
-	}
 	var results []*experiments.Result
 	var firstErr error
 	// onDone streams each figure in suite order as soon as it (and all its
 	// predecessors) finished, so output bytes match sequential execution.
-	run.ExecuteAll(sess, jobs, func(o run.Outcome[*experiments.Result]) {
+	run.ExecuteAll(sess, jobs, func(o run.Outcome) {
 		if o.Err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%s: %w", o.Name, o.Err)
+			if firstErr == nil && !errors.Is(o.Err, run.ErrSkipped) {
+				firstErr = fmt.Errorf("%s: %w", o.Spec.ID, o.Err)
 			}
 			return
 		}
-		results = append(results, o.Result)
+		results = append(results, o.Result.Figure)
 		if !*asJSON {
-			fmt.Fprint(out, o.Result.Render())
+			fmt.Fprint(out, o.Result.Figure.Render())
 			status := fmt.Sprintf("elapsed: %v", o.Info.Elapsed.Round(time.Millisecond))
 			if o.Info.Cached {
 				status = "cached"

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -83,6 +84,68 @@ func TestRunSuiteParallelMatchesSequential(t *testing.T) {
 	if strip(sequential.String()) != strip(overlapped.String()) {
 		t.Errorf("-suite-parallel output differs from sequential:\n--- sequential ---\n%s--- overlapped ---\n%s",
 			sequential.String(), overlapped.String())
+	}
+}
+
+// TestSpecFileMatchesFlags is the -spec acceptance check: running a spec
+// file must produce output byte-identical to the equivalent flag
+// invocation, in both text and JSON modes.
+func TestSpecFileMatchesFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	doc := `[{"kind":"figure","id":"fig11","seed":2},{"kind":"figure","id":"fig20","seed":2}]`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range [][]string{nil, {"-json"}} {
+		var flags, specs bytes.Buffer
+		base := append([]string{"-no-cache", "-progress=false"}, mode...)
+		if err := realMain(append([]string{"-only", "fig11,fig20", "-seed", "2"}, base...), &flags); err != nil {
+			t.Fatal(err)
+		}
+		if err := realMain(append([]string{"-spec", path}, base...), &specs); err != nil {
+			t.Fatal(err)
+		}
+		trim := func(s string) string { // per-run elapsed lines may differ
+			var kept []string
+			for _, l := range strings.Split(s, "\n") {
+				if !strings.HasPrefix(l, "  (") {
+					kept = append(kept, l)
+				}
+			}
+			return strings.Join(kept, "\n")
+		}
+		if trim(flags.String()) != trim(specs.String()) {
+			t.Errorf("mode %v: -spec output differs from flags\n--- flags ---\n%s--- spec ---\n%s",
+				mode, flags.String(), specs.String())
+		}
+	}
+}
+
+func TestSpecFileErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	if err := os.WriteFile(path, []byte(`{"kind":"scenario","id":"multilat-town","seed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain([]string{"-spec", path}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "figure specs") {
+		t.Errorf("scenario spec accepted by the figure CLI: %v", err)
+	}
+	if err := realMain([]string{"-spec", path, "-only", "fig11"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "not both") {
+		t.Errorf("-spec with -only accepted: %v", err)
+	}
+	if err := realMain([]string{"-spec", filepath.Join(t.TempDir(), "missing.json")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	// An explicit -seed would silently lose against the file's embedded
+	// seeds, so it must be rejected.
+	fig := filepath.Join(t.TempDir(), "fig.json")
+	if err := os.WriteFile(fig, []byte(`{"kind":"figure","id":"fig11","seed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain([]string{"-spec", fig, "-seed", "7"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-seed") {
+		t.Errorf("-seed with -spec accepted: %v", err)
 	}
 }
 

@@ -1,0 +1,343 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resilientloc/internal/engine/run"
+)
+
+func newTestServer(t *testing.T, opts run.Options) (*server, *httptest.Server) {
+	t.Helper()
+	if opts.CacheDir == "" && !opts.NoCache {
+		opts.CacheDir = filepath.Join(t.TempDir(), "cache")
+	}
+	srv, err := newServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+// submit POSTs a spec document and returns the response job summaries.
+func submit(t *testing.T, hs *httptest.Server, body string) []jobSummary {
+	t.Helper()
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Jobs []jobSummary `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Jobs
+}
+
+// poll fetches the job until it leaves "running" or the deadline passes.
+func poll(t *testing.T, hs *httptest.Server, id string) jobSummary {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(hs.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobSummary
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != "running" {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running after deadline: %+v", id, v)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFigureJobMatchesGoldenCorpus is the service acceptance check: a
+// figure job submitted over the wire returns a result that renders
+// byte-identically to the golden corpus (which also pins cmd/experiments'
+// output for the same job) at seeds 1 and 5.
+func TestFigureJobMatchesGoldenCorpus(t *testing.T) {
+	_, hs := newTestServer(t, run.Options{})
+	goldenDir := filepath.Join("..", "..", "internal", "experiments", "testdata", "golden")
+	for _, seed := range []int64{1, 5} {
+		body := fmt.Sprintf(`{"kind":"figure","id":"fig11","seed":%d}`, seed)
+		jobs := submit(t, hs, body)
+		if len(jobs) != 1 {
+			t.Fatalf("submitted 1 spec, got %d jobs", len(jobs))
+		}
+		v := poll(t, hs, jobs[0].ID)
+		if v.Status != "done" || v.Result == nil || v.Result.Figure == nil {
+			t.Fatalf("seed %d: job ended %q (error %q), result %+v", seed, v.Status, v.Error, v.Result)
+		}
+		want, err := os.ReadFile(filepath.Join(goldenDir, fmt.Sprintf("fig11_seed%d.golden", seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Result.Figure.Render(); got != string(want) {
+			t.Errorf("fig11 seed %d over the wire diverged from golden output\n--- got ---\n%s--- want ---\n%s",
+				seed, got, want)
+		}
+		if v.DoneTrials != v.Trials || v.Trials != 1 {
+			t.Errorf("seed %d: trials %d/%d, want 1/1", seed, v.DoneTrials, v.Trials)
+		}
+	}
+}
+
+// TestDedupInFlightAndResubmission: identical specs — submitted
+// concurrently, listed twice in one batch, or resubmitted after completion
+// — are one job with one execution; trials are computed exactly once.
+func TestDedupInFlightAndResubmission(t *testing.T) {
+	srv, hs := newTestServer(t, run.Options{})
+	body := `{"kind":"scenario","id":"multilat-town","seed":9,"trials":4}`
+
+	var wg sync.WaitGroup
+	ids := make([]string, 4)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = submit(t, hs, body)[0].ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("identical specs got distinct job ids: %v", ids)
+		}
+	}
+	v := poll(t, hs, ids[0])
+	if v.Status != "done" || v.Cached {
+		t.Fatalf("job ended %q cached=%v, want a fresh done run", v.Status, v.Cached)
+	}
+	if got := srv.sess.TrialsExecuted(); got != 4 {
+		t.Errorf("concurrent identical submissions computed %d trials, want exactly 4", got)
+	}
+
+	// A batch naming the same job twice is still one job, answered twice.
+	jobs := submit(t, hs, "["+body+","+body+"]")
+	if len(jobs) != 2 || jobs[0].ID != ids[0] || jobs[1].ID != ids[0] {
+		t.Fatalf("duplicate batch returned %+v, want the existing job twice", jobs)
+	}
+	if jobs[0].Status != "done" {
+		t.Errorf("resubmission of a finished job reports %q, want done", jobs[0].Status)
+	}
+	if got := srv.sess.TrialsExecuted(); got != 4 {
+		t.Errorf("resubmission recomputed: %d trials total, want still 4", got)
+	}
+
+	// A distinct spec with the same cache key shape but a new seed computes.
+	other := submit(t, hs, `{"kind":"scenario","id":"multilat-town","seed":10,"trials":4}`)[0]
+	if other.ID == ids[0] {
+		t.Fatal("different seed mapped to the same job id")
+	}
+	if v := poll(t, hs, other.ID); v.Status != "done" {
+		t.Fatalf("second job ended %q: %s", v.Status, v.Error)
+	}
+	if got := srv.sess.TrialsExecuted(); got != 8 {
+		t.Errorf("distinct job did not compute: %d trials total, want 8", got)
+	}
+}
+
+// TestEventsStreamNDJSON: the events endpoint emits newline-delimited JSON
+// counter events ending in a terminal status line — including for
+// subscribers who arrive after the job finished.
+func TestEventsStreamNDJSON(t *testing.T) {
+	_, hs := newTestServer(t, run.Options{})
+	jobs := submit(t, hs, `{"kind":"scenario","id":"multilat-town","seed":3,"trials":4,"shard_size":1}`)
+	id := jobs[0].ID
+
+	readEvents := func() []event {
+		resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Errorf("events content type %q", ct)
+		}
+		var events []event
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var e event
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatalf("unparseable event line %q: %v", sc.Text(), err)
+			}
+			events = append(events, e)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+
+	// Live subscription: the stream terminates when the job does.
+	live := readEvents()
+	if len(live) == 0 {
+		t.Fatal("live events stream was empty")
+	}
+	last := live[len(live)-1]
+	if last.Status != "done" || last.Done != 4 || last.Total != 4 {
+		t.Errorf("terminal event %+v, want done 4/4", last)
+	}
+	prev := -1
+	for _, e := range live {
+		if e.ID != id || e.Done < prev {
+			t.Errorf("event stream inconsistent: %+v", live)
+			break
+		}
+		prev = e.Done
+	}
+
+	// Late subscription to the finished job: snapshot plus terminal line.
+	late := readEvents()
+	if len(late) != 2 || late[1].Status != "done" {
+		t.Errorf("late subscription got %+v, want snapshot + terminal", late)
+	}
+}
+
+// TestCacheEndpointServesEntries: a finished job's cache_key addresses its
+// raw self-describing cache entry; bad and absent keys are 400/404.
+func TestCacheEndpointServesEntries(t *testing.T) {
+	_, hs := newTestServer(t, run.Options{})
+	id := submit(t, hs, `{"kind":"scenario","id":"multilat-town","seed":2,"trials":2}`)[0].ID
+	v := poll(t, hs, id)
+	if v.Status != "done" || v.CacheKey == "" {
+		t.Fatalf("job %+v, want done with a cache key", v)
+	}
+	resp, err := http.Get(hs.URL + "/v1/cache/" + v.CacheKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/cache/{key}: status %d", resp.StatusCode)
+	}
+	var entry struct {
+		Key struct {
+			Scenario string `json:"scenario"`
+			Seed     int64  `json:"seed"`
+		} `json:"key"`
+		Value json.RawMessage `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Key.Scenario != "multilat-town" || entry.Key.Seed != 2 || len(entry.Value) == 0 {
+		t.Errorf("cache entry not self-describing: %+v", entry)
+	}
+
+	if r, _ := http.Get(hs.URL + "/v1/cache/not-a-hash"); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid hash: status %d, want 400", r.StatusCode)
+	}
+	if r, _ := http.Get(hs.URL + "/v1/cache/" + strings.Repeat("0", 64)); r.StatusCode != http.StatusNotFound {
+		t.Errorf("absent hash: status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestSubmitAndLookupErrors(t *testing.T) {
+	_, hs := newTestServer(t, run.Options{NoCache: true})
+	for body, want := range map[string]string{
+		`{not json`: "decode",
+		`{"kind":"figure","id":"fig99","seed":1}`:                                    "unknown figure",
+		`{"kind":"figure","id":"fig11","trials":4}`:                                  "pin their trial count",
+		`{"kind":"figure","id":"fig11","seeed":1}`:                                   "unknown field",
+		`{"kind":"scenario","id":"multilat-town","seed":1,"keep_trial_values":true}`: "not observable over the wire",
+	} {
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(e.Error, want) {
+			t.Errorf("POST %q: status %d error %q, want 400 mentioning %q", body, resp.StatusCode, e.Error, want)
+		}
+	}
+	if r, _ := http.Get(hs.URL + "/v1/jobs/nope"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", r.StatusCode)
+	}
+	if r, _ := http.Get(hs.URL + "/v1/jobs/nope/events"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job events: status %d, want 404", r.StatusCode)
+	}
+	if r, _ := http.Get(hs.URL + "/healthz"); r.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d", r.StatusCode)
+	}
+}
+
+// TestFinishedJobEviction: the job table is bounded — finished jobs beyond
+// the cap are evicted oldest-first (they poll as 404 and resubmit as fresh,
+// cache-served jobs), while recent ones survive.
+func TestFinishedJobEviction(t *testing.T) {
+	prev := maxFinishedJobs
+	maxFinishedJobs = 2
+	defer func() { maxFinishedJobs = prev }()
+	_, hs := newTestServer(t, run.Options{})
+	var ids []string
+	for seed := 1; seed <= 3; seed++ {
+		id := submit(t, hs, fmt.Sprintf(`{"kind":"scenario","id":"multilat-town","seed":%d,"trials":2}`, seed))[0].ID
+		if v := poll(t, hs, id); v.Status != "done" {
+			t.Fatalf("seed %d ended %q", seed, v.Status)
+		}
+		ids = append(ids, id)
+	}
+	if r, _ := http.Get(hs.URL + "/v1/jobs/" + ids[0]); r.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest finished job not evicted: status %d", r.StatusCode)
+	}
+	for _, id := range ids[1:] {
+		if r, _ := http.Get(hs.URL + "/v1/jobs/" + id); r.StatusCode != http.StatusOK {
+			t.Errorf("recent job %s evicted: status %d", id, r.StatusCode)
+		}
+	}
+	// The evicted job resubmits as a fresh record and is answered from the
+	// result cache without recomputation.
+	again := submit(t, hs, `{"kind":"scenario","id":"multilat-town","seed":1,"trials":2}`)[0]
+	if again.ID != ids[0] {
+		t.Fatalf("resubmission changed the job id")
+	}
+	if v := poll(t, hs, again.ID); v.Status != "done" || !v.Cached {
+		t.Errorf("resubmitted evicted job: status %q cached %v, want a cache-served done", v.Status, v.Cached)
+	}
+}
+
+// TestReservedTrialRangeRejected: a partial trial range (reserved for the
+// sharding coordinator) is rejected at submission time, before any job is
+// registered — silently computing the wrong aggregate over the wire would
+// be far worse than a 400.
+func TestReservedTrialRangeRejected(t *testing.T) {
+	_, hs := newTestServer(t, run.Options{NoCache: true})
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"scenario","id":"multilat-town","seed":1,"trial_range":{"lo":0,"hi":2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("reserved trial range accepted over the wire: status %d", resp.StatusCode)
+	}
+}

@@ -1,6 +1,6 @@
 // Command scenarios lists and runs the scenario library on the concurrent
-// execution engine, through the same unified campaign runner (worker pool,
-// result cache, streaming progress) as cmd/experiments.
+// execution engine, through the same spec-driven campaign runner (worker
+// pool, result cache, streaming progress) as cmd/experiments and locd.
 //
 // Usage:
 //
@@ -8,20 +8,28 @@
 //	scenarios -run multilat-town,ranging-grass-refined [-trials N] [-parallel W] [-seed S] [-json]
 //	scenarios -suite multilat [-suite-parallel C] [-json]
 //	scenarios -run all [-cache DIR | -no-cache] [-cache-gc=off] [-progress]
+//	scenarios -spec jobs.json
+//
+// Every invocation first compiles its selection into declarative job specs
+// (spec.JobSpec: scenario name, seed, trial/shard overrides) and executes
+// them through the unified runner; -spec runs a ready-made spec file (one
+// JSON object or an array, kind "scenario") instead — the same documents
+// locd accepts over HTTP.
 //
 // All metric aggregates are deterministic per seed at any -parallel value
 // (only the reported worker count and elapsed time vary), which is what
 // makes results cacheable: repeated runs with the same scenario, seed,
 // trial count, and binary are served from the on-disk cache with zero trial
 // computation. -suite-parallel C overlaps up to C independent scenarios
-// (0 = GOMAXPROCS) on one shared worker budget; aggregates and output order
-// are identical at every value. Reports stream as each scenario finishes;
-// -progress adds a per-scenario trials-completed counter on stderr for long
-// sweeps.
+// (0 = GOMAXPROCS) on one shared worker budget, largest first; aggregates
+// and output order are identical at every value. Reports stream as each
+// scenario finishes; -progress adds a per-scenario trials-completed counter
+// on stderr for long sweeps.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +38,7 @@ import (
 
 	"resilientloc/internal/engine"
 	enginerun "resilientloc/internal/engine/run"
+	"resilientloc/internal/engine/spec"
 )
 
 // progressWriter receives the streaming trial counters; a variable so tests
@@ -53,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list scenarios and suites, then exit")
 	runNames := fs.String("run", "", "comma-separated scenario names to run, or \"all\"")
 	suite := fs.String("suite", "", "run every scenario of the named suite")
+	specFile := fs.String("spec", "", "JSON job-spec file to execute instead of -run/-suite selection")
 	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
 	progress := fs.Bool("progress", true, "stream per-scenario trial progress to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -62,11 +72,20 @@ func run(args []string, out io.Writer) error {
 		opts.Progress = progressWriter
 	}
 
-	if *list || (*runNames == "" && *suite == "") {
+	if *list || (*runNames == "" && *suite == "" && *specFile == "") {
 		return printList(out)
 	}
 
-	selected, err := selectScenarios(*runNames, *suite)
+	if *specFile != "" {
+		if err := enginerun.RejectSpecParameterFlags(fs, "seed", "trials", "shard-size"); err != nil {
+			return err
+		}
+	}
+	specs, err := buildSpecs(opts, *runNames, *suite, *specFile)
+	if err != nil {
+		return err
+	}
+	jobs, err := spec.ResolveAll(specs)
 	if err != nil {
 		return err
 	}
@@ -75,30 +94,20 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	jobs := make([]enginerun.Job[*engine.Report], len(selected))
-	for i, s := range selected {
-		s := s
-		jobs[i] = enginerun.Job[*engine.Report]{
-			Name: s.Name,
-			// Scenarios take their seed from the engine configuration, so
-			// the builder is seed-independent.
-			Build: func(int64) engine.Campaign[*engine.Report] { return engine.ReportCampaign(s) },
-		}
-	}
 	var reports []*engine.Report
 	var firstErr error
 	// Reports stream in suite order as prefixes complete, so output bytes
 	// match sequential execution at any -suite-parallel value.
-	enginerun.ExecuteAll(sess, jobs, func(o enginerun.Outcome[*engine.Report]) {
+	enginerun.ExecuteAll(sess, jobs, func(o enginerun.Outcome) {
 		if o.Err != nil {
-			if firstErr == nil {
+			if firstErr == nil && !errors.Is(o.Err, enginerun.ErrSkipped) {
 				firstErr = o.Err
 			}
 			return
 		}
-		reports = append(reports, o.Result)
+		reports = append(reports, o.Result.Report)
 		if !*asJSON {
-			printReport(out, o.Result, o.Info.Cached)
+			printReport(out, o.Result.Report, o.Info.Cached)
 		}
 	})
 	if firstErr != nil {
@@ -110,6 +119,27 @@ func run(args []string, out io.Writer) error {
 		return enc.Encode(reports)
 	}
 	return nil
+}
+
+// buildSpecs compiles the CLI selection into scenario job specs: from a
+// spec file when -spec is given, else from -run/-suite plus the
+// trial/shard/seed flags.
+func buildSpecs(opts enginerun.Options, runNames, suite, specFile string) ([]spec.JobSpec, error) {
+	if specFile != "" {
+		if runNames != "" || suite != "" {
+			return nil, fmt.Errorf("use either -run/-suite or -spec, not both")
+		}
+		return spec.LoadFileOfKind(specFile, spec.KindScenario)
+	}
+	selected, err := selectScenarios(runNames, suite)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(selected))
+	for i, s := range selected {
+		names[i] = s.Name
+	}
+	return opts.Specs(spec.KindScenario, names), nil
 }
 
 func selectScenarios(runNames, suite string) ([]engine.Scenario, error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -109,6 +110,57 @@ func TestRunSuiteParallelMatchesSequential(t *testing.T) {
 	if normalize(sequential.String()) != normalize(overlapped.String()) {
 		t.Errorf("-suite-parallel output differs from sequential:\n--- sequential ---\n%s--- overlapped ---\n%s",
 			sequential.String(), overlapped.String())
+	}
+}
+
+// TestSpecFileMatchesFlags is the -spec acceptance check: a spec file
+// carrying the same scenario, seed, and trial override produces output
+// byte-identical to the flag invocation (the per-run "W workers, E.EEs"
+// fragment aside).
+func TestSpecFileMatchesFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	doc := `{"kind":"scenario","id":"multilat-town","seed":2,"trials":3}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	normalize := func(s string) string {
+		return regexp.MustCompile(`\d+ workers, \d+\.\d+s`).ReplaceAllString(s, "N workers")
+	}
+	var flags, specs bytes.Buffer
+	if err := run([]string{"-run", "multilat-town", "-trials", "3", "-seed", "2", "-no-cache"}, &flags); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", path, "-no-cache"}, &specs); err != nil {
+		t.Fatal(err)
+	}
+	if normalize(flags.String()) != normalize(specs.String()) {
+		t.Errorf("-spec output differs from flags\n--- flags ---\n%s--- spec ---\n%s",
+			flags.String(), specs.String())
+	}
+}
+
+func TestSpecFileErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	if err := os.WriteFile(path, []byte(`{"kind":"figure","id":"fig11","seed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", path}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "scenario specs") {
+		t.Errorf("figure spec accepted by the scenario CLI: %v", err)
+	}
+	if err := run([]string{"-spec", path, "-run", "multilat-town"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "not both") {
+		t.Errorf("-spec with -run accepted: %v", err)
+	}
+	// Explicit job-parameter flags would silently lose against the file's
+	// embedded parameters, so they must be rejected.
+	scen := filepath.Join(t.TempDir(), "scen.json")
+	if err := os.WriteFile(scen, []byte(`{"kind":"scenario","id":"multilat-town","seed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", scen, "-trials", "9"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-trials") {
+		t.Errorf("-trials with -spec accepted: %v", err)
 	}
 }
 

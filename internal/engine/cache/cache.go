@@ -11,18 +11,26 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Key identifies one deterministic campaign execution.
 type Key struct {
+	// Kind is the job registry the scenario name belongs to (spec.KindFigure
+	// or spec.KindScenario). Without it, a figure and a library scenario
+	// sharing a name would collide on one entry whose stored shape only one
+	// of them can decode.
+	Kind        string `json:"kind,omitempty"`
 	Scenario    string `json:"scenario"`
 	Seed        int64  `json:"seed"`
 	Trials      int    `json:"trials"`
@@ -222,8 +230,19 @@ func (c *Cache) MaybeGC(minInterval, maxAge time.Duration, maxBytes int64) (GCRe
 	return res, true, err
 }
 
-// Put stores v under k, writing atomically (temp file + rename) so readers
-// never observe a partial entry.
+// putSeq distinguishes concurrent temp files written by one process; the
+// temp name also embeds the pid, so any number of processes sharing a cache
+// directory write disjoint temp files.
+var putSeq atomic.Uint64
+
+// Put stores v under k. The entry is staged in a private temp file — opened
+// with O_EXCL under a (key, pid, sequence)-unique name, so two processes
+// sharing the cache directory (a locd daemon and a CLI, or several of
+// either) can never interleave writes into one staging file — and then
+// renamed into place, so a reader observes either the old complete entry or
+// the new complete entry, never a torn one. Losing the rename race to a
+// concurrent writer of the same key is harmless: both wrote the same
+// deterministic value.
 func (c *Cache) Put(k Key, v any) error {
 	raw, err := json.Marshal(v)
 	if err != nil {
@@ -233,9 +252,19 @@ func (c *Cache) Put(k Key, v any) error {
 	if err != nil {
 		return fmt.Errorf("cache: encode entry for %s: %w", k.Scenario, err)
 	}
-	tmp, err := os.CreateTemp(c.dir, "put-*")
-	if err != nil {
-		return fmt.Errorf("cache: %w", err)
+	hash := k.Hash()
+	var tmp *os.File
+	for attempt := 0; ; attempt++ {
+		name := fmt.Sprintf("put-%s-%d-%d", hash[:12], os.Getpid(), putSeq.Add(1))
+		tmp, err = os.OpenFile(filepath.Join(c.dir, name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			break
+		}
+		// A name collision means a leftover temp file from a recycled pid;
+		// the next sequence number is fresh. Anything else is a real error.
+		if !errors.Is(err, fs.ErrExist) || attempt >= 4 {
+			return fmt.Errorf("cache: %w", err)
+		}
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(b); err != nil {
@@ -249,4 +278,27 @@ func (c *Cache) Put(k Key, v any) error {
 		return fmt.Errorf("cache: %w", err)
 	}
 	return nil
+}
+
+// EntryByHash returns the raw stored entry (key and value, self-describing
+// JSON) addressed by a key hash, as served over the wire by locd's
+// /v1/cache endpoint. The boolean reports existence. The hash is validated
+// as exactly a hex content address before touching the filesystem.
+func (c *Cache) EntryByHash(hash string) ([]byte, bool, error) {
+	if len(hash) != 2*sha256.Size {
+		return nil, false, fmt.Errorf("cache: invalid entry hash %q", hash)
+	}
+	for _, r := range hash {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return nil, false, fmt.Errorf("cache: invalid entry hash %q", hash)
+		}
+	}
+	b, err := os.ReadFile(filepath.Join(c.dir, hash+".json"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("cache: %w", err)
+	}
+	return b, true, nil
 }

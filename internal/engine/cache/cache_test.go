@@ -1,8 +1,12 @@
 package cache
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -18,6 +22,7 @@ func TestKeyHashSensitivity(t *testing.T) {
 		t.Fatal("hash not stable")
 	}
 	variants := map[string]Key{
+		"kind":        {Kind: "figure", Scenario: "s", Seed: 1, Trials: 8, ShardSize: 2, Fingerprint: "abc"},
 		"scenario":    {Scenario: "other", Seed: 1, Trials: 8, ShardSize: 2, Fingerprint: "abc"},
 		"seed":        {Scenario: "s", Seed: 2, Trials: 8, ShardSize: 2, Fingerprint: "abc"},
 		"trials":      {Scenario: "s", Seed: 1, Trials: 9, ShardSize: 2, Fingerprint: "abc"},
@@ -86,6 +91,139 @@ func TestCorruptEntryIsMiss(t *testing.T) {
 	}
 	if hit, err := c.Get(k, &payload{}); err != nil || hit {
 		t.Errorf("corrupt entry: hit=%v err=%v, want clean miss", hit, err)
+	}
+}
+
+// TestConcurrentWritersNeverTearEntries is the multi-process regression
+// test for the O_EXCL staging path: two cache handles on one directory
+// (standing in for a locd daemon and a CLI sharing a cache dir) hammer the
+// same key while readers poll it. Every hit must decode into an internally
+// consistent payload — a torn or interleaved entry would either fail to
+// decode (Get returns an error) or break the payload's self-check.
+func TestConcurrentWritersNeverTearEntries(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	writerA, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writerB, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	// A consistent payload repeats one rune; mixing bytes of two writes is
+	// detectable no matter where the tear lands.
+	consistent := func(p payload) bool {
+		if len(p.Name) != 512 {
+			return false
+		}
+		return strings.Count(p.Name, p.Name[:1]) == len(p.Name)
+	}
+	const rounds = 200
+	var wg sync.WaitGroup
+	for wi, c := range []*Cache{writerA, writerB} {
+		wg.Add(1)
+		go func(wi int, c *Cache) {
+			defer wg.Done()
+			fill := strings.Repeat(string(rune('a'+wi)), 512)
+			for i := 0; i < rounds; i++ {
+				if err := c.Put(k, payload{Name: fill}); err != nil {
+					t.Errorf("writer %d: %v", wi, err)
+					return
+				}
+			}
+		}(wi, c)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	reads := 0
+	for {
+		select {
+		case <-done:
+			if reads == 0 {
+				t.Fatal("reader never ran while writers were active")
+			}
+			// One final read after both writers finished must hit cleanly.
+			var p payload
+			hit, err := reader.Get(k, &p)
+			if err != nil || !hit || !consistent(p) {
+				t.Fatalf("final read: hit=%v err=%v payload=%.16q", hit, err, p.Name)
+			}
+			return
+		default:
+			var p payload
+			hit, err := reader.Get(k, &p)
+			if err != nil {
+				t.Fatalf("read %d observed a torn entry: %v", reads, err)
+			}
+			if hit && !consistent(p) {
+				t.Fatalf("read %d observed interleaved writer bytes: %.32q", reads, p.Name)
+			}
+			reads++
+		}
+	}
+}
+
+func TestEntryByHash(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	if err := c.Put(k, payload{Name: "x", Values: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok, err := c.EntryByHash(k.Hash())
+	if err != nil || !ok {
+		t.Fatalf("EntryByHash: ok=%v err=%v", ok, err)
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil || e.Key != k {
+		t.Fatalf("raw entry not self-describing: err=%v key=%+v", err, e.Key)
+	}
+	if _, ok, err := c.EntryByHash(strings.Repeat("0", 64)); err != nil || ok {
+		t.Errorf("absent hash: ok=%v err=%v, want clean miss", ok, err)
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("g", 64), "../../etc/passwd" + strings.Repeat("0", 48)} {
+		if _, _, err := c.EntryByHash(bad); err == nil {
+			t.Errorf("hash %q accepted, want validation error", bad)
+		}
+	}
+}
+
+// TestPutTempNamesAreProcessUnique: the staging files two concurrent Puts
+// create must never collide, and they are cleaned up afterwards.
+func TestPutTempNamesAreProcessUnique(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := testKey()
+			k.Seed = int64(i)
+			if err := c.Put(k, payload{Name: fmt.Sprintf("v%d", i)}); err != nil {
+				t.Errorf("put %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if strings.HasPrefix(de.Name(), "put-") {
+			t.Errorf("leftover staging file %s", de.Name())
+		}
 	}
 }
 

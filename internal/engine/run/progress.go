@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 )
 
 // progress renders streaming per-campaign trial counters for a session. On
@@ -18,26 +19,33 @@ import (
 // returns would fold a whole run into one unreadable mega-line and would
 // interleave mid-line across concurrent campaigns.
 type progress struct {
-	w   io.Writer
-	tty bool
+	w       io.Writer
+	tty     bool
+	refresh time.Duration    // min interval between TTY repaints (0 = every update)
+	now     func() time.Time // injectable clock for tests
 
 	mu         sync.Mutex
-	order      []string          // active campaigns in registration order
-	lines      map[string]string // latest rendered line per active campaign
-	milestones map[string]int    // last quarter emitted per campaign (non-TTY)
+	order      []string          // active jobs (by id) in registration order
+	lines      map[string]string // latest rendered line per active job id
+	milestones map[string]int    // last quarter emitted per job id (non-TTY)
 	drawn      int               // lines the TTY status block currently occupies
 	suspended  bool              // block erased while other output is printing
 	pending    []string          // permanent lines queued during suspension
+	lastDraw   time.Time         // when the TTY block last repainted
 }
 
-// newProgress returns a renderer for w, or nil when progress is off.
-func newProgress(w io.Writer) *progress {
+// newProgress returns a renderer for w, or nil when progress is off. A
+// positive refresh bounds TTY status-block repaints to at most one per
+// interval; completion lines always render immediately.
+func newProgress(w io.Writer, refresh time.Duration) *progress {
 	if w == nil {
 		return nil
 	}
 	return &progress{
 		w:          w,
 		tty:        isTTY(w),
+		refresh:    refresh,
+		now:        time.Now,
 		lines:      make(map[string]string),
 		milestones: make(map[string]int),
 	}
@@ -59,17 +67,20 @@ func progressLine(name string, done, total int) string {
 	return fmt.Sprintf("%-28s %4d/%d trials", name, done, total)
 }
 
-// callback returns the engine progress callback for one campaign, or nil
-// when progress is off. Safe for concurrent campaigns: every write is made
-// under the renderer's lock, one complete line at a time.
-func (p *progress) callback(name string) func(done, total int) {
+// callback returns the engine progress callback for one job, or nil when
+// progress is off. Jobs are keyed by id — the spec's content hash — so two
+// concurrent jobs of the same scenario at different seeds each own their
+// own line and milestone counter; name is only the display label. Safe for
+// concurrent campaigns: every write is made under the renderer's lock, one
+// complete line at a time.
+func (p *progress) callback(id, name string) func(done, total int) {
 	if p == nil {
 		return nil
 	}
-	return func(done, total int) { p.update(name, done, total) }
+	return func(done, total int) { p.update(id, name, done, total) }
 }
 
-func (p *progress) update(name string, done, total int) {
+func (p *progress) update(id, name string, done, total int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.tty {
@@ -80,23 +91,31 @@ func (p *progress) update(name string, done, total int) {
 		if total > 0 {
 			q = 4 * done / total
 		}
-		if q > p.milestones[name] {
-			p.milestones[name] = q
+		if q > p.milestones[id] {
+			p.milestones[id] = q
 			fmt.Fprintf(p.w, "%s\n", progressLine(name, done, total))
 		}
 		return
 	}
-	if _, ok := p.lines[name]; !ok {
-		p.order = append(p.order, name)
+	if _, ok := p.lines[id]; !ok {
+		p.order = append(p.order, id)
 	}
-	p.lines[name] = progressLine(name, done, total)
+	p.lines[id] = progressLine(name, done, total)
 	var permanent []string
 	if done == total {
-		permanent = append(permanent, p.lines[name])
-		p.removeLocked(name)
+		permanent = append(permanent, p.lines[id])
+		p.removeLocked(id)
 	}
 	if p.suspended {
 		p.pending = append(p.pending, permanent...)
+		return
+	}
+	if len(permanent) == 0 && p.refresh > 0 && p.now().Sub(p.lastDraw) < p.refresh {
+		// Rate-limit pure counter repaints: the updated line is already
+		// stored, so the next qualifying event (or the campaign's
+		// completion, which always draws) repaints it. Only the in-place
+		// block is throttled — non-TTY milestone lines are few by
+		// construction.
 		return
 	}
 	p.redrawLocked(permanent)
@@ -135,18 +154,18 @@ func (p *progress) resume() {
 	}
 }
 
-// done retires a campaign from the renderer once its execution returns:
-// an errored campaign leaves the TTY block, and the campaign's milestone
-// state resets so a later re-run in the same session reports afresh.
-func (p *progress) done(name string) {
+// done retires a job from the renderer once its execution returns: an
+// errored job leaves the TTY block, and the job's milestone state resets
+// so a later re-run in the same session reports afresh.
+func (p *progress) done(id string) {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	delete(p.milestones, name)
-	if l, ok := p.lines[name]; ok {
-		p.removeLocked(name)
+	delete(p.milestones, id)
+	if l, ok := p.lines[id]; ok {
+		p.removeLocked(id)
 		if p.suspended {
 			p.pending = append(p.pending, l)
 			return
@@ -155,10 +174,10 @@ func (p *progress) done(name string) {
 	}
 }
 
-func (p *progress) removeLocked(name string) {
-	delete(p.lines, name)
+func (p *progress) removeLocked(id string) {
+	delete(p.lines, id)
 	for i, n := range p.order {
-		if n == name {
+		if n == id {
 			p.order = append(p.order[:i], p.order[i+1:]...)
 			break
 		}
@@ -182,5 +201,8 @@ func (p *progress) redrawLocked(permanent []string) {
 		b.WriteByte('\n')
 	}
 	p.drawn = len(p.order)
+	if p.now != nil {
+		p.lastDraw = p.now()
+	}
 	io.WriteString(p.w, b.String())
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 // newTTYProgress builds a renderer forced onto the terminal path so the
@@ -16,7 +17,7 @@ func newTTYProgress(w *bytes.Buffer) *progress {
 func TestTTYStatusBlockRendersConcurrentCampaigns(t *testing.T) {
 	var buf bytes.Buffer
 	p := newTTYProgress(&buf)
-	a, b := p.callback("alpha"), p.callback("beta")
+	a, b := p.callback("alpha", "alpha"), p.callback("beta", "beta")
 
 	a(1, 4)
 	first := buf.String()
@@ -54,7 +55,7 @@ func TestTTYStatusBlockRendersConcurrentCampaigns(t *testing.T) {
 func TestSuspendProtectsInterleavedOutput(t *testing.T) {
 	var buf bytes.Buffer
 	p := newTTYProgress(&buf)
-	a, b := p.callback("alpha"), p.callback("beta")
+	a, b := p.callback("alpha", "alpha"), p.callback("beta", "beta")
 	a(1, 4)
 	b(1, 2)
 
@@ -82,13 +83,45 @@ func TestSuspendProtectsInterleavedOutput(t *testing.T) {
 	}
 }
 
+// TestTTYRefreshThrottle: with a refresh interval, pure counter repaints
+// within the interval are suppressed (the state still accumulates), while
+// completion lines always render immediately.
+func TestTTYRefreshThrottle(t *testing.T) {
+	var buf bytes.Buffer
+	clock := time.Unix(1000, 0)
+	p := newTTYProgress(&buf)
+	p.refresh = 100 * time.Millisecond
+	p.now = func() time.Time { return clock }
+	cb := p.callback("job", "job")
+
+	cb(1, 10) // first repaint: lastDraw is zero, interval elapsed
+	if !strings.Contains(buf.String(), "1/10") {
+		t.Fatalf("first update did not draw: %q", buf.String())
+	}
+	mark := buf.Len()
+	cb(2, 10) // within the interval: suppressed
+	if buf.Len() != mark {
+		t.Errorf("throttled update still drew: %q", buf.String()[mark:])
+	}
+	clock = clock.Add(150 * time.Millisecond)
+	cb(3, 10) // interval elapsed: repaints with the latest counter
+	if !strings.Contains(buf.String()[mark:], "3/10") {
+		t.Errorf("post-interval update did not draw the latest counter: %q", buf.String()[mark:])
+	}
+	mark = buf.Len()
+	cb(10, 10) // completion: permanent line bypasses the throttle
+	if !strings.Contains(buf.String()[mark:], "10/10") {
+		t.Errorf("completion line was throttled: %q", buf.String()[mark:])
+	}
+}
+
 func TestProgressDoneResetsMilestones(t *testing.T) {
 	var buf bytes.Buffer
-	p := newProgress(&buf)
-	cb := p.callback("again")
+	p := newProgress(&buf, 0)
+	cb := p.callback("again", "again")
 	cb(4, 4)
 	p.done("again")
-	cb = p.callback("again")
+	cb = p.callback("again", "again")
 	cb(4, 4) // a re-run of the same campaign must report afresh
 	if got := strings.Count(buf.String(), "4/4 trials"); got != 2 {
 		t.Errorf("re-run milestone emitted %d times, want 2: %q", got, buf.String())

@@ -1,17 +1,25 @@
-// Package run is the unified campaign runner shared by cmd/experiments and
-// cmd/scenarios: one place for the common CLI flags, the on-disk result
-// cache, streaming trial progress, and campaign execution. Both CLIs build
-// engine Campaigns (figure reproductions as Campaign[*experiments.Result],
-// library scenarios via engine.ReportCampaign) and hand them to Execute; the
-// session decides whether the cache already holds the answer.
+// Package run is the unified campaign runner shared by cmd/experiments,
+// cmd/scenarios, and the locd service: one place for the common CLI flags,
+// the on-disk result cache, streaming trial progress, and campaign
+// execution.
 //
-// Suites of independent campaigns run through ExecuteAll, which overlaps up
-// to Options.SuiteParallel campaigns on top of the engine's trial-level
-// parallelism. Every campaign draws its shard slots from the process-wide
-// engine.SharedBudget, so overlapped campaigns share GOMAXPROCS instead of
-// multiplying worker pools — and because shard partitions and merges are
-// scheduling-independent, results are byte-identical at every overlap
-// factor.
+// The unit of work is a declarative job description (spec.JobSpec): every
+// caller — CLI flags, spec files, HTTP submissions — compiles down to specs,
+// resolves them onto the registries (spec.Resolve), and executes them here.
+// A Session owns the execution environment (worker count, cache, progress
+// sinks); the spec owns everything the result is a function of (kind, job,
+// seed, trials, shard size), which — plus the binary fingerprint — is the
+// cache key. Jobs requesting per-trial retention bypass the cache, because
+// retained values do not survive the cache's JSON round trip.
+//
+// Suites of independent jobs run through ExecuteAll, which overlaps up to
+// Options.SuiteParallel campaigns on top of the engine's trial-level
+// parallelism, dispatching the largest jobs first so the critical path is as
+// short as the overlap allows. Every campaign draws its shard slots from the
+// process-wide engine.SharedBudget, so overlapped campaigns share GOMAXPROCS
+// instead of multiplying worker pools — and because shard partitions and
+// merges are scheduling-independent, results are byte-identical at every
+// overlap factor and dispatch order.
 package run
 
 import (
@@ -22,12 +30,15 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"resilientloc/internal/engine"
 	"resilientloc/internal/engine/cache"
+	"resilientloc/internal/engine/spec"
 )
 
 // Opportunistic cache-GC policy: at most one sweep per hour per directory,
@@ -39,19 +50,22 @@ const (
 	gcMaxBytes = 512 << 20
 )
 
-// Options carries the execution parameters common to every campaign CLI.
+// Options carries the execution environment common to every campaign
+// front-end. Job-level parameters (seed, trial count, shard size) live in
+// each spec.JobSpec; the Seed/Trials/ShardSize fields here are only the
+// storage the flag-based CLIs compile into specs.
 type Options struct {
-	// Trials overrides each scenario's default trial count when positive.
+	// Trials is the -trials flag value a CLI copies into its flag-built
+	// specs (0 = each scenario's default). Spec files carry their own.
 	Trials int
 	// Workers is the engine worker-pool size (0 = GOMAXPROCS). Regardless
 	// of its value, concurrent shard execution is bounded by the shared
 	// worker budget (engine.SharedBudget), sized to GOMAXPROCS.
 	Workers int
-	// Seed is the base seed; all runs are deterministic per seed.
+	// Seed is the -seed flag value a CLI copies into its flag-built specs.
 	Seed int64
-	// ShardSize overrides the engine's default shard partition when
-	// positive. Aggregates are a pure function of (seed, trials, shard
-	// size), so it is part of every cache key.
+	// ShardSize is the -shard-size flag value a CLI copies into its
+	// flag-built specs (0 = engine default).
 	ShardSize int
 	// SuiteParallel is how many independent campaigns ExecuteAll overlaps:
 	// 1 (the default when registered as a flag) runs them sequentially,
@@ -68,20 +82,31 @@ type Options struct {
 	// for each campaign as its shards finish: an in-place status block on a
 	// terminal, newline-delimited milestone lines elsewhere.
 	Progress io.Writer
+	// ProgressRefresh bounds how often the TTY status block repaints: at
+	// most once per interval (completion lines always render immediately).
+	// 0 repaints on every update, which is the historical behavior.
+	ProgressRefresh time.Duration
+	// OnProgress, when non-nil, receives the same streaming trial counters
+	// keyed by job ID (spec.JobSpec.Hash) instead of rendered text — the
+	// hook the locd event streams are wired to. Calls are serialized per
+	// session.
+	OnProgress func(jobID string, done, total int)
 	// Warnings receives non-fatal diagnostics (e.g. a cache entry that no
 	// longer decodes); nil means os.Stderr.
 	Warnings io.Writer
 }
 
 // RegisterCommon registers the flags shared by every campaign CLI:
-// -parallel, -seed, -cache, -no-cache, -cache-gc. Flags whose applicability
-// varies (like -trials) have their own Register helpers.
+// -parallel, -seed, -cache, -no-cache, -cache-gc, -progress-refresh. Flags
+// whose applicability varies (like -trials) have their own Register helpers.
 func (o *Options) RegisterCommon(fs *flag.FlagSet) {
 	fs.IntVar(&o.Workers, "parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
 	fs.Int64Var(&o.Seed, "seed", 1, "base random seed (runs are deterministic per seed)")
 	fs.StringVar(&o.CacheDir, "cache", "", "result cache directory (default: the per-user cache dir)")
 	fs.BoolVar(&o.NoCache, "no-cache", false, "disable the on-disk result cache")
 	fs.StringVar(&o.CacheGC, "cache-gc", "on", "opportunistic cache garbage collection (on|off)")
+	fs.DurationVar(&o.ProgressRefresh, "progress-refresh", 0,
+		"minimum interval between terminal status-block repaints (0 = repaint on every update)")
 }
 
 // RegisterTrials registers the -trials override. Scenario CLIs expose it;
@@ -105,6 +130,41 @@ func (o *Options) RegisterSuiteParallel(fs *flag.FlagSet) {
 		"independent campaigns to overlap in suite runs (0 = GOMAXPROCS, 1 = sequential; results are identical at any value)")
 }
 
+// RejectSpecParameterFlags errors when any of the named flags was
+// explicitly set on the command line: job-parameter flags (-seed, -trials,
+// -shard-size) are compiled into flag-built specs, so combining them with
+// -spec would silently lose against the file's embedded parameters.
+func RejectSpecParameterFlags(fs *flag.FlagSet, names ...string) error {
+	var conflict []string
+	fs.Visit(func(f *flag.Flag) {
+		for _, n := range names {
+			if f.Name == n {
+				conflict = append(conflict, "-"+n)
+			}
+		}
+	})
+	if len(conflict) > 0 {
+		return fmt.Errorf("%s cannot be combined with -spec: spec files carry their own job parameters",
+			strings.Join(conflict, ", "))
+	}
+	return nil
+}
+
+// Specs compiles a list of job IDs into flag-parameterized specs of one
+// kind: the bridge from a CLI's selection flags to the spec-driven
+// execution path.
+func (o Options) Specs(kind string, ids []string) []spec.JobSpec {
+	specs := make([]spec.JobSpec, len(ids))
+	for i, id := range ids {
+		specs[i] = spec.JobSpec{Kind: kind, ID: id, Seed: o.Seed}
+		if kind == spec.KindScenario {
+			specs[i].Trials = o.Trials
+			specs[i].ShardSize = o.ShardSize
+		}
+	}
+	return specs
+}
+
 // DefaultCacheDir returns the per-user cache directory, or "" when the
 // platform provides none (caching is then disabled rather than failing).
 func DefaultCacheDir() string {
@@ -115,9 +175,10 @@ func DefaultCacheDir() string {
 	return filepath.Join(base, "resilientloc")
 }
 
-// Session executes campaigns under one set of Options, tracking cache use
-// and the number of trials actually computed. A session is safe for
-// concurrent Execute calls; ExecuteAll is its suite scheduler.
+// Session executes resolved jobs under one set of Options, tracking cache
+// use and the number of trials actually computed. A session is safe for
+// concurrent ExecuteSpec/ExecuteAll calls; ExecuteAll is its suite
+// scheduler.
 type Session struct {
 	opts  Options
 	cache *cache.Cache
@@ -132,6 +193,10 @@ type Session struct {
 	// second execution a cache hit instead of racing on the entry.
 	keyMu    sync.Mutex
 	keyLocks map[string]*sync.Mutex
+
+	// opMu serializes Options.OnProgress invocations across concurrently
+	// running campaigns, making the hook's documented contract true.
+	opMu sync.Mutex
 }
 
 // NewSession validates the options and opens the result cache (unless
@@ -142,6 +207,9 @@ type Session struct {
 func NewSession(opts Options) (*Session, error) {
 	if opts.SuiteParallel < 0 {
 		return nil, fmt.Errorf("run: negative suite parallelism %d", opts.SuiteParallel)
+	}
+	if opts.ProgressRefresh < 0 {
+		return nil, fmt.Errorf("run: negative progress refresh %v", opts.ProgressRefresh)
 	}
 	gc := true
 	switch opts.CacheGC {
@@ -157,12 +225,13 @@ func NewSession(opts Options) (*Session, error) {
 	s := &Session{
 		opts:     opts,
 		warn:     opts.Warnings,
-		prog:     newProgress(opts.Progress),
+		prog:     newProgress(opts.Progress, opts.ProgressRefresh),
 		keyLocks: make(map[string]*sync.Mutex),
 	}
-	// Validate the engine configuration eagerly so flag errors surface
+	// Validate the flag-level engine configuration eagerly so errors surface
 	// before any campaign runs.
-	if _, err := engine.NewRunner(s.engineConfig(nil)); err != nil {
+	cfg := engine.Config{Workers: opts.Workers, Trials: opts.Trials, Seed: opts.Seed, ShardSize: opts.ShardSize}
+	if _, err := engine.NewRunner(cfg); err != nil {
 		return nil, err
 	}
 	if opts.NoCache {
@@ -208,7 +277,17 @@ func (s *Session) CacheDir() string {
 	return s.cache.Dir()
 }
 
-// Info describes how one campaign execution was satisfied.
+// CacheEntry returns the raw stored cache entry addressed by a key hash, as
+// served by locd's /v1/cache endpoint. The boolean reports existence; a
+// session without a cache never has entries.
+func (s *Session) CacheEntry(hash string) ([]byte, bool, error) {
+	if s.cache == nil {
+		return nil, false, nil
+	}
+	return s.cache.EntryByHash(hash)
+}
+
+// Info describes how one job execution was satisfied.
 type Info struct {
 	// Cached reports that the result came from the cache with no trial
 	// computation.
@@ -217,17 +296,10 @@ type Info struct {
 	Trials int
 	// Elapsed is the wall time of this execution, including cache lookup.
 	Elapsed time.Duration
-}
-
-func (s *Session) engineConfig(progress func(done, total int)) engine.Config {
-	return engine.Config{
-		Workers:   s.opts.Workers,
-		Trials:    s.opts.Trials,
-		Seed:      s.opts.Seed,
-		ShardSize: s.opts.ShardSize,
-		Progress:  progress,
-		Budget:    engine.SharedBudget(),
-	}
+	// CacheKey is the content address the result is (or would be) cached
+	// under — fetchable via locd's /v1/cache/{key}. Empty when the session
+	// runs without a cache.
+	CacheKey string
 }
 
 // lockKey serializes cache access per key hash; the returned function
@@ -244,130 +316,178 @@ func (s *Session) lockKey(hash string) func() {
 	return m.Unlock
 }
 
-// executionMeta is implemented by results (engine.Report) that carry
-// per-invocation execution metadata — worker count and wall time — which
-// must never be cached and replayed as if it described a later run.
-type executionMeta interface {
-	ClearExecutionMeta()
-	SetExecutionMeta(workers int, elapsedSeconds float64)
+// progressCallback fans one job's trial counters out to the rendered
+// progress sink (keyed by job id, labeled by campaign name) and the
+// job-keyed OnProgress hook.
+func (s *Session) progressCallback(name, jobID string) func(done, total int) {
+	cb := s.prog.callback(jobID, name)
+	op := s.opts.OnProgress
+	if op == nil {
+		return cb
+	}
+	return func(done, total int) {
+		if cb != nil {
+			cb(done, total)
+		}
+		s.opMu.Lock()
+		op(jobID, done, total)
+		s.opMu.Unlock()
+	}
 }
 
-// Execute runs one campaign through the session: build is invoked with the
-// session's seed (so a campaign can never be computed for one seed and
-// cached under another), then a cache hit returns the stored result with
-// zero trial computation, and a miss runs the campaign on the engine and
-// stores the result. Execution metadata (worker count, wall time) is
-// normalized out of cached values and stamped with this invocation's actual
-// values, so a hit reports zero workers and its own lookup time, never the
-// populating run's. Safe for concurrent calls on one session.
-func Execute[R any](s *Session, build func(seed int64) engine.Campaign[R]) (R, Info, error) {
-	var zero R
-	start := time.Now()
-	c := build(s.opts.Seed)
-	name := c.Scenario.Name
-	runner, err := engine.NewRunner(s.engineConfig(s.prog.callback(name)))
+// ExecuteSpec resolves and executes one job description through the
+// session: a cache hit returns the stored result with zero trial
+// computation, and a miss runs the campaign on the engine and stores the
+// result. Execution metadata (worker count, wall time) is normalized out of
+// cached values and stamped with this invocation's actual values, so a hit
+// reports zero workers and its own lookup time, never the populating run's.
+// Safe for concurrent calls on one session.
+func ExecuteSpec(s *Session, sp spec.JobSpec) (*spec.Value, Info, error) {
+	job, err := spec.Resolve(sp)
 	if err != nil {
-		return zero, Info{}, err
+		return nil, Info{}, err
 	}
-	defer s.prog.done(name)
+	return ExecuteResolved(s, job)
+}
+
+// ExecuteResolved executes one already-resolved job; see ExecuteSpec.
+func ExecuteResolved(s *Session, job spec.Resolved) (*spec.Value, Info, error) {
+	start := time.Now()
+	c := job.Campaign
+	name := c.Scenario.Name
+	jobID := job.Spec.Hash()
+	runner, err := engine.NewRunner(engine.Config{
+		Workers:   s.opts.Workers,
+		Trials:    job.Spec.Trials,
+		Seed:      job.Spec.Seed,
+		ShardSize: job.Spec.ShardSize,
+		Progress:  s.progressCallback(name, jobID),
+		Budget:    engine.SharedBudget(),
+	})
+	if err != nil {
+		return nil, Info{}, err
+	}
+	defer s.prog.done(jobID)
 	trials, shardSize := engine.CampaignConfig(runner, c)
+	// Retention jobs bypass the cache entirely: per-trial values are
+	// excluded from the stored JSON, so a hit could only ever return a
+	// result stripped of exactly what the spec asked for.
+	cacheable := s.cache != nil && !job.Spec.KeepTrialValues
 	var key cache.Key
-	if s.cache != nil {
+	var keyHash string
+	if cacheable {
 		// The key (and the whole-binary fingerprint it embeds) is only
 		// worth computing when a cache exists to consult.
 		key = cache.Key{
+			Kind:        job.Spec.Kind,
 			Scenario:    name,
-			Seed:        s.opts.Seed,
+			Seed:        job.Spec.Seed,
 			Trials:      trials,
 			ShardSize:   shardSize,
 			Fingerprint: cache.Fingerprint(),
 		}
-		unlock := s.lockKey(key.Hash())
+		keyHash = key.Hash()
+		unlock := s.lockKey(keyHash)
 		defer unlock()
-		var res R
+		var res spec.Value
 		hit, err := s.cache.Get(key, &res)
 		if err != nil {
-			// The entry parsed but its value no longer decodes into R:
-			// recoverable (we recompute and overwrite it below), but worth
-			// one trace instead of a silent recompute.
+			// The entry parsed but its value no longer decodes into a
+			// result: recoverable (we recompute and overwrite it below), but
+			// worth one trace instead of a silent recompute.
 			fmt.Fprintf(s.warn, "warning: %s: discarding undecodable cache entry: %v\n", name, err)
 		}
 		if hit {
-			if m, ok := any(res).(executionMeta); ok {
-				m.SetExecutionMeta(0, time.Since(start).Seconds())
-			}
-			return res, Info{Cached: true, Trials: trials, Elapsed: time.Since(start)}, nil
+			res.SetExecutionMeta(0, time.Since(start).Seconds())
+			return &res, Info{Cached: true, Trials: trials, Elapsed: time.Since(start), CacheKey: keyHash}, nil
 		}
 	}
 	res, rep, err := engine.RunCampaign(runner, c)
 	if err != nil {
-		return zero, Info{}, err
+		return nil, Info{}, err
 	}
 	s.mu.Lock()
 	s.trialsExecuted += rep.Trials
 	s.mu.Unlock()
-	if s.cache != nil {
+	if cacheable {
 		// Best-effort: a full disk or unwritable directory must not fail
 		// the run whose result we already hold. Execution metadata is
-		// cleared for the stored copy and restored on the returned one.
-		if m, ok := any(res).(executionMeta); ok {
-			// res may alias rep (scenario campaigns), so capture the
-			// values before clearing them for the stored copy.
-			workers, elapsed := rep.Workers, rep.ElapsedSeconds
-			m.ClearExecutionMeta()
-			_ = s.cache.Put(key, res)
-			m.SetExecutionMeta(workers, elapsed)
-		} else {
-			_ = s.cache.Put(key, res)
-		}
+		// cleared for the stored copy and restored on the returned one
+		// (res.Report may alias rep, so capture the values first).
+		workers, elapsed := rep.Workers, rep.ElapsedSeconds
+		res.ClearExecutionMeta()
+		_ = s.cache.Put(key, res)
+		res.SetExecutionMeta(workers, elapsed)
 	}
-	return res, Info{Trials: rep.Trials, Elapsed: time.Since(start)}, nil
+	return res, Info{Trials: rep.Trials, Elapsed: time.Since(start), CacheKey: keyHash}, nil
 }
 
-// ExecuteScenario runs a library scenario through the session as a report
-// campaign (scenarios take their seed from the engine configuration, so the
-// builder is seed-independent).
-func ExecuteScenario(s *Session, sc engine.Scenario) (*engine.Report, Info, error) {
-	return Execute(s, func(int64) engine.Campaign[*engine.Report] { return engine.ReportCampaign(sc) })
-}
-
-// Job is one named campaign in a suite run.
-type Job[R any] struct {
-	// Name labels the job in Outcomes; by convention it matches the
-	// campaign scenario's name (experiment ID or library scenario name).
-	Name string
-	// Build constructs the campaign for a seed, exactly as for Execute.
-	Build func(seed int64) engine.Campaign[R]
-}
-
-// Outcome is one job's result.
-type Outcome[R any] struct {
-	Name   string
-	Result R
+// Outcome is one job's result in a suite run.
+type Outcome struct {
+	// Spec identifies the job; Spec.ID is its display name and Spec.Hash()
+	// its wire address.
+	Spec   spec.JobSpec
+	Result *spec.Value
 	Info   Info
 	Err    error
 }
 
-// ErrSkipped marks a job that never started because an earlier job in the
-// suite failed. Ordered emission guarantees a skipped job is always
-// reported after the genuine failure that caused it.
-var ErrSkipped = errors.New("run: skipped after earlier suite failure")
+// ErrSkipped marks a job that never started because another job in the
+// suite failed. With largest-first dispatch a skipped job may precede a
+// genuine failure in submission order, so suite consumers looking for the
+// suite's real error must skip ErrSkipped outcomes (errors.Is) — at least
+// one non-skipped failure always exists when any job is skipped (more than
+// one when several in-flight jobs fail concurrently).
+var ErrSkipped = errors.New("run: skipped after suite failure")
+
+// dispatchOrder returns the order the scheduler starts jobs in when
+// overlapping: largest first — by trials × shard count, so campaigns with
+// many individually heavy trials (which pin shard size 1) rank above
+// campaigns with the same trial count in big shards — with submission order
+// breaking ties. Starting the longest jobs first shortens the suite's
+// critical path; emission order is unaffected.
+func dispatchOrder(jobs []spec.Resolved) []int {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	cost := func(j spec.Resolved) int { return j.Trials * j.Shards() }
+	sort.SliceStable(order, func(a, b int) bool { return cost(jobs[order[a]]) > cost(jobs[order[b]]) })
+	return order
+}
 
 // ExecuteAll is the suite scheduler: it runs the jobs through the session,
 // overlapping up to Options.SuiteParallel independent campaigns (0 means
 // GOMAXPROCS) on top of the engine's trial-level parallelism, with all
-// campaigns drawing shard slots from the shared worker budget. A failing
-// job stops the suite: no further job starts (campaigns already in flight
-// finish and report), and never-started jobs carry ErrSkipped.
+// campaigns drawing shard slots from the shared worker budget. When
+// overlapping, jobs are dispatched largest-first (see dispatchOrder) so the
+// longest campaigns anchor the critical path instead of straggling at the
+// end. A failing job stops the suite: no further job starts (campaigns
+// already in flight finish and report), and never-started jobs carry
+// ErrSkipped — every submitted job always receives exactly one outcome.
 //
-// The returned slice is in job order (truncated at the failure when running
-// sequentially), and onDone (when non-nil) is invoked exactly once per
-// reported job in job order — job i only after jobs 0..i-1 — so streaming
-// output is identical at every overlap factor. The engine's determinism
-// contract makes each campaign's result byte-identical regardless of
-// overlap. While onDone runs, the TTY progress block is suspended so the
-// callback can print without the next repaint erasing its output.
-func ExecuteAll[R any](s *Session, jobs []Job[R], onDone func(Outcome[R])) []Outcome[R] {
+// The returned slice is in submission order, and onDone (when non-nil) is
+// invoked exactly once per job in submission order — job i only after jobs
+// 0..i-1 — so streaming output is identical at every overlap factor and
+// dispatch order. The engine's determinism contract makes each campaign's
+// result byte-identical regardless of overlap. While onDone runs, the TTY
+// progress block is suspended so the callback can print without the next
+// repaint erasing its output.
+func ExecuteAll(s *Session, jobs []spec.Resolved, onDone func(Outcome)) []Outcome {
+	return executeAll(s, jobs, onDone, true)
+}
+
+// ExecuteAllUnordered is ExecuteAll with per-job completion latency instead
+// of ordered streaming: onDone fires (serialized) as soon as each job
+// finishes, regardless of its position in the submission. Services that
+// answer polls per job (locd) use this so a fast or cached job is never
+// held hostage by a long-running sibling; CLIs that stream suite output
+// keep ExecuteAll's ordered emission.
+func ExecuteAllUnordered(s *Session, jobs []spec.Resolved, onDone func(Outcome)) []Outcome {
+	return executeAll(s, jobs, onDone, false)
+}
+
+func executeAll(s *Session, jobs []spec.Resolved, onDone func(Outcome), ordered bool) []Outcome {
 	overlap := s.opts.SuiteParallel
 	if overlap <= 0 {
 		overlap = runtime.GOMAXPROCS(0)
@@ -375,8 +495,8 @@ func ExecuteAll[R any](s *Session, jobs []Job[R], onDone func(Outcome[R])) []Out
 	if overlap > len(jobs) {
 		overlap = len(jobs)
 	}
-	outcomes := make([]Outcome[R], len(jobs))
-	report := func(o Outcome[R]) {
+	outcomes := make([]Outcome, len(jobs))
+	report := func(o Outcome) {
 		if onDone == nil {
 			return
 		}
@@ -385,12 +505,18 @@ func ExecuteAll[R any](s *Session, jobs []Job[R], onDone func(Outcome[R])) []Out
 		s.prog.resume()
 	}
 	if overlap <= 1 {
+		var failedSeq bool
 		for i, j := range jobs {
-			outcomes[i] = runJob(s, j)
-			report(outcomes[i])
-			if outcomes[i].Err != nil {
-				return outcomes[:i+1]
+			if failedSeq {
+				// Fail-fast, but still give every job its outcome — a
+				// service keyed on per-job completion must never see a job
+				// silently dropped from its batch.
+				outcomes[i] = Outcome{Spec: j.Spec, Err: ErrSkipped}
+			} else {
+				outcomes[i] = runResolved(s, j)
+				failedSeq = outcomes[i].Err != nil
 			}
+			report(outcomes[i])
 		}
 		return outcomes
 	}
@@ -405,6 +531,10 @@ func ExecuteAll[R any](s *Session, jobs []Job[R], onDone func(Outcome[R])) []Out
 	emit := func(i int) {
 		mu.Lock()
 		defer mu.Unlock()
+		if !ordered {
+			report(outcomes[i])
+			return
+		}
 		ready[i] = true
 		for next < len(jobs) && ready[next] {
 			report(outcomes[next])
@@ -419,34 +549,37 @@ func ExecuteAll[R any](s *Session, jobs []Job[R], onDone func(Outcome[R])) []Out
 				// Re-check on receipt: the dispatcher may have been blocked
 				// handing this index over while another job failed.
 				if failed.Load() {
-					outcomes[i] = Outcome[R]{Name: jobs[i].Name, Err: ErrSkipped}
-				} else if outcomes[i] = runJob(s, jobs[i]); outcomes[i].Err != nil {
+					outcomes[i] = Outcome{Spec: jobs[i].Spec, Err: ErrSkipped}
+				} else if outcomes[i] = runResolved(s, jobs[i]); outcomes[i].Err != nil {
 					failed.Store(true)
 				}
 				emit(i)
 			}
 		}()
 	}
-	for i := 0; i < len(jobs); i++ {
+	order := dispatchOrder(jobs)
+	for k := 0; k < len(order); k++ {
 		if failed.Load() {
 			// Don't start anything new; jobs already handed out finish and
-			// report, the rest are marked skipped (their indices are all
-			// above the failed job's, so ordered emission reports the real
-			// failure first).
-			for j := i; j < len(jobs); j++ {
-				outcomes[j] = Outcome[R]{Name: jobs[j].Name, Err: ErrSkipped}
-				emit(j)
+			// report, the rest are marked skipped. Emission stays in
+			// submission order, so a skipped job whose submission index is
+			// below the failing job's is reported first — which is why
+			// ErrSkipped documents that consumers must not treat it as the
+			// suite's genuine failure.
+			for _, i := range order[k:] {
+				outcomes[i] = Outcome{Spec: jobs[i].Spec, Err: ErrSkipped}
+				emit(i)
 			}
 			break
 		}
-		idx <- i
+		idx <- order[k]
 	}
 	close(idx)
 	wg.Wait()
 	return outcomes
 }
 
-func runJob[R any](s *Session, j Job[R]) Outcome[R] {
-	res, info, err := Execute(s, j.Build)
-	return Outcome[R]{Name: j.Name, Result: res, Info: info, Err: err}
+func runResolved(s *Session, j spec.Resolved) Outcome {
+	res, info, err := ExecuteResolved(s, j)
+	return Outcome{Spec: j.Spec, Result: res, Info: info, Err: err}
 }

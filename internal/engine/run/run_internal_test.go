@@ -1,0 +1,46 @@
+package run
+
+import (
+	"testing"
+
+	"resilientloc/internal/engine/spec"
+)
+
+// TestDispatchOrderLongestFirst pins the scheduler's size heuristic: jobs
+// are started in descending trials × shard-count order, with submission
+// order breaking ties, so the longest campaigns anchor the critical path.
+func TestDispatchOrderLongestFirst(t *testing.T) {
+	sized := func(id string, trials, shardSize int) spec.Resolved {
+		return spec.Resolved{
+			Spec:   spec.JobSpec{Kind: spec.KindScenario, ID: id, Seed: 1},
+			Trials: trials, ShardSize: shardSize,
+		}
+	}
+	jobs := []spec.Resolved{
+		sized("small", 2, 8),     // 2 trials × 1 shard  = 2
+		sized("descents", 17, 1), // 17 trials × 17 shards = 289: heavy per-trial work
+		sized("sweep", 36, 8),    // 36 trials × 5 shards = 180
+		sized("tie-a", 8, 8),     // 8 × 1 = 8
+		sized("tie-b", 8, 8),     // equal cost: submission order must hold
+		sized("singleton", 1, 8), // 1 × 1 = 1
+	}
+	got := dispatchOrder(jobs)
+	want := []int{1, 2, 3, 4, 0, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatchOrder = %v, want %v (job %d is %s)", got, want, i, jobs[got[i]].Spec.ID)
+		}
+	}
+}
+
+// TestDispatchOrderHandlesUnsizedJobs: hand-built resolved jobs without
+// size metadata sort last instead of crashing the scheduler.
+func TestDispatchOrderHandlesUnsizedJobs(t *testing.T) {
+	jobs := []spec.Resolved{
+		{Spec: spec.JobSpec{ID: "unsized"}},
+		{Spec: spec.JobSpec{ID: "sized"}, Trials: 4, ShardSize: 2},
+	}
+	if got := dispatchOrder(jobs); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("dispatchOrder = %v, want the sized job first", got)
+	}
+}

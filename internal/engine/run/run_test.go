@@ -13,7 +13,7 @@ import (
 	"resilientloc/internal/engine"
 	"resilientloc/internal/engine/cache"
 	"resilientloc/internal/engine/run"
-	"resilientloc/internal/experiments"
+	"resilientloc/internal/engine/spec"
 )
 
 // fastFigs is a small cross-section of the figure suite: two single-trial
@@ -21,9 +21,17 @@ import (
 // scenario below they cover every campaign shape the unified runner serves.
 var fastFigs = []string{"fig11", "fig20", "maxrange"}
 
-func newSession(t *testing.T, dir string) *run.Session {
+func figSpec(id string, seed int64) spec.JobSpec {
+	return spec.JobSpec{Kind: spec.KindFigure, ID: id, Seed: seed}
+}
+
+func scenSpec(id string, seed int64, trials, shardSize int) spec.JobSpec {
+	return spec.JobSpec{Kind: spec.KindScenario, ID: id, Seed: seed, Trials: trials, ShardSize: shardSize}
+}
+
+func newSession(t *testing.T, opts run.Options) *run.Session {
 	t.Helper()
-	s, err := run.NewSession(run.Options{Seed: 1, CacheDir: dir})
+	s, err := run.NewSession(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,50 +45,45 @@ func newSession(t *testing.T, dir string) *run.Session {
 func TestCachedSuiteRunComputesNothing(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "cache")
 
-	first := newSession(t, dir)
+	first := newSession(t, run.Options{CacheDir: dir})
 	firstOut := map[string]string{}
 	for _, id := range fastFigs {
-		e, ok := experiments.Find(id)
-		if !ok {
-			t.Fatalf("experiment %s missing", id)
-		}
-		res, info, err := run.Execute(first, e.Campaign)
+		res, info, err := run.ExecuteSpec(first, figSpec(id, 1))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if info.Cached {
 			t.Fatalf("%s: first run claims to be cached", id)
 		}
-		firstOut[id] = res.Render()
+		firstOut[id] = res.Figure.Render()
 	}
-	sc, _ := engine.Find("multilat-town")
-	if _, info, err := run.ExecuteScenario(first, sc); err != nil || info.Cached {
+	town := scenSpec("multilat-town", 1, 0, 0)
+	if _, info, err := run.ExecuteSpec(first, town); err != nil || info.Cached {
 		t.Fatalf("scenario first run: cached=%v err=%v", info.Cached, err)
 	}
 	if first.TrialsExecuted() == 0 {
 		t.Fatal("first session executed no trials")
 	}
 
-	second := newSession(t, dir)
+	second := newSession(t, run.Options{CacheDir: dir})
 	for _, id := range fastFigs {
-		e, _ := experiments.Find(id)
-		res, info, err := run.Execute(second, e.Campaign)
+		res, info, err := run.ExecuteSpec(second, figSpec(id, 1))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !info.Cached {
 			t.Errorf("%s: second run missed the cache", id)
 		}
-		if res.Render() != firstOut[id] {
-			t.Errorf("%s: cached bytes differ\n--- first ---\n%s--- second ---\n%s", id, firstOut[id], res.Render())
+		if res.Figure.Render() != firstOut[id] {
+			t.Errorf("%s: cached bytes differ\n--- first ---\n%s--- second ---\n%s", id, firstOut[id], res.Figure.Render())
 		}
 	}
-	rep, info, err := run.ExecuteScenario(second, sc)
+	res, info, err := run.ExecuteSpec(second, town)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !info.Cached || rep.Scenario != "multilat-town" {
-		t.Errorf("scenario second run: cached=%v scenario=%q", info.Cached, rep.Scenario)
+	if !info.Cached || res.Report.Scenario != "multilat-town" {
+		t.Errorf("scenario second run: cached=%v scenario=%q", info.Cached, res.Report.Scenario)
 	}
 	if got := second.TrialsExecuted(); got != 0 {
 		t.Errorf("cached suite run computed %d trials, want 0", got)
@@ -88,32 +91,25 @@ func TestCachedSuiteRunComputesNothing(t *testing.T) {
 }
 
 // TestCacheKeyedOnParameters verifies that seed, trial count, and shard size
-// each miss the cache instead of serving a stale result.
+// each miss the cache instead of serving a stale result. The parameters are
+// per-spec now, so one session exercises every variant.
 func TestCacheKeyedOnParameters(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "cache")
-	sc, _ := engine.Find("multilat-town")
+	s := newSession(t, run.Options{CacheDir: dir})
 
-	base := run.Options{Seed: 1, Trials: 2, CacheDir: dir}
-	variants := map[string]run.Options{
+	base := scenSpec("multilat-town", 1, 2, 0)
+	variants := map[string]spec.JobSpec{
 		"same":       base,
-		"seed":       {Seed: 2, Trials: 2, CacheDir: dir},
-		"trials":     {Seed: 1, Trials: 3, CacheDir: dir},
-		"shard size": {Seed: 1, Trials: 2, CacheDir: dir, ShardSize: 1},
+		"seed":       scenSpec("multilat-town", 2, 2, 0),
+		"trials":     scenSpec("multilat-town", 1, 3, 0),
+		"shard size": scenSpec("multilat-town", 1, 2, 1),
 	}
 
-	s, err := run.NewSession(base)
-	if err != nil {
+	if _, _, err := run.ExecuteSpec(s, base); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := run.ExecuteScenario(s, sc); err != nil {
-		t.Fatal(err)
-	}
-	for name, opts := range variants {
-		s2, err := run.NewSession(opts)
-		if err != nil {
-			t.Fatal(err)
-		}
-		_, info, err := run.ExecuteScenario(s2, sc)
+	for name, sp := range variants {
+		_, info, err := run.ExecuteSpec(s, sp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,17 +123,18 @@ func TestCacheKeyedOnParameters(t *testing.T) {
 }
 
 func TestNoCacheDisablesCaching(t *testing.T) {
-	s, err := run.NewSession(run.Options{Seed: 1, Trials: 2, NoCache: true, CacheDir: t.TempDir()})
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := newSession(t, run.Options{NoCache: true, CacheDir: t.TempDir()})
 	if s.CacheDir() != "" {
 		t.Errorf("NoCache session still has cache dir %q", s.CacheDir())
 	}
-	sc, _ := engine.Find("multilat-town")
+	sp := scenSpec("multilat-town", 1, 2, 0)
 	for i := 0; i < 2; i++ {
-		if _, info, err := run.ExecuteScenario(s, sc); err != nil || info.Cached {
+		_, info, err := run.ExecuteSpec(s, sp)
+		if err != nil || info.Cached {
 			t.Fatalf("run %d: cached=%v err=%v", i, info.Cached, err)
+		}
+		if info.CacheKey != "" {
+			t.Errorf("run %d: cache-off execution reports cache key %q", i, info.CacheKey)
 		}
 	}
 	if s.TrialsExecuted() != 4 {
@@ -145,19 +142,127 @@ func TestNoCacheDisablesCaching(t *testing.T) {
 	}
 }
 
-func TestProgressStream(t *testing.T) {
-	var buf bytes.Buffer
-	s, err := run.NewSession(run.Options{Seed: 1, Trials: 4, NoCache: true, Progress: &buf})
+// TestCacheKeyAddressesEntry checks Info.CacheKey is the served content
+// address: the raw entry behind it (Session.CacheEntry, locd's /v1/cache) is
+// the self-describing document for exactly this job.
+func TestCacheKeyAddressesEntry(t *testing.T) {
+	s := newSession(t, run.Options{CacheDir: filepath.Join(t.TempDir(), "cache")})
+	_, info, err := run.ExecuteSpec(s, scenSpec("multilat-town", 1, 2, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc, _ := engine.Find("multilat-town")
-	if _, _, err := run.ExecuteScenario(s, sc); err != nil {
+	if info.CacheKey == "" {
+		t.Fatal("cached session reported no cache key")
+	}
+	b, ok, err := s.CacheEntry(info.CacheKey)
+	if err != nil || !ok {
+		t.Fatalf("CacheEntry(%s): ok=%v err=%v", info.CacheKey, ok, err)
+	}
+	if !bytes.Contains(b, []byte("multilat-town")) {
+		t.Errorf("raw entry does not mention its scenario: %.120s", b)
+	}
+	if _, ok, _ := s.CacheEntry(strings.Repeat("0", 64)); ok {
+		t.Error("absent hash reported as existing")
+	}
+}
+
+// TestRetentionJobsBypassCache: a spec asking for per-trial retention must
+// always compute — retained values are excluded from the cache's JSON, so
+// a hit would return a result stripped of exactly what was asked for. The
+// non-retention twin of the same job still caches normally.
+func TestRetentionJobsBypassCache(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	s := newSession(t, run.Options{CacheDir: dir})
+	plain := scenSpec("multilat-town", 1, 2, 0)
+	keep := plain
+	keep.KeepTrialValues = true
+
+	if _, _, err := run.ExecuteSpec(s, plain); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, info, err := run.ExecuteSpec(s, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Cached || info.CacheKey != "" {
+			t.Fatalf("retention run %d served from cache (key %q)", i, info.CacheKey)
+		}
+		if len(res.Report.TrialScalars) == 0 {
+			t.Fatalf("retention run %d returned no per-trial values", i)
+		}
+	}
+	if _, info, err := run.ExecuteSpec(s, plain); err != nil || !info.Cached {
+		t.Errorf("plain twin no longer cached after retention runs: cached=%v err=%v", info.Cached, err)
+	}
+}
+
+// TestProgressKeyedPerJob: two concurrent jobs of the same scenario at
+// different seeds each own their own milestone counter — neither job's
+// lines are suppressed or reset by the other's completion.
+func TestProgressKeyedPerJob(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSession(t, run.Options{NoCache: true, Progress: &buf, SuiteParallel: 2})
+	jobs, err := spec.ResolveAll([]spec.JobSpec{
+		scenSpec("multilat-town", 1, 8, 1),
+		scenSpec("multilat-town", 2, 8, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range run.ExecuteAll(s, jobs, nil) {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	// Each job independently reaches its 8/8 milestone exactly once.
+	if got := strings.Count(buf.String(), "8/8 trials"); got != 2 {
+		t.Errorf("final milestone appeared %d times, want once per job: %q", got, buf.String())
+	}
+}
+
+func TestProgressStream(t *testing.T) {
+	var buf bytes.Buffer
+	s := newSession(t, run.Options{NoCache: true, Progress: &buf})
+	if _, _, err := run.ExecuteSpec(s, scenSpec("multilat-town", 1, 4, 0)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	if !strings.Contains(out, "multilat-town") || !strings.Contains(out, "4/4 trials") {
 		t.Errorf("progress stream incomplete: %q", out)
+	}
+}
+
+// TestOnProgressKeyedByJobID checks the service hook: counters arrive keyed
+// by the spec's content hash, monotonically, ending at the full trial count.
+func TestOnProgressKeyedByJobID(t *testing.T) {
+	sp := scenSpec("multilat-town", 1, 4, 1)
+	type tick struct {
+		id          string
+		done, total int
+	}
+	var ticks []tick
+	s := newSession(t, run.Options{NoCache: true, OnProgress: func(id string, done, total int) {
+		ticks = append(ticks, tick{id, done, total})
+	}})
+	if _, _, err := run.ExecuteSpec(s, sp); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) == 0 {
+		t.Fatal("no OnProgress ticks")
+	}
+	last := 0
+	for _, tk := range ticks {
+		if tk.id != sp.Hash() {
+			t.Errorf("tick keyed by %q, want the spec hash %q", tk.id, sp.Hash())
+		}
+		if tk.total != 4 || tk.done <= last-1 {
+			t.Errorf("non-monotonic or mistotaled tick %+v", tk)
+		}
+		last = tk.done
+	}
+	if last != 4 {
+		t.Errorf("final tick %d/4, want 4/4", last)
 	}
 }
 
@@ -174,18 +279,21 @@ func TestSessionRejectsBadOptions(t *testing.T) {
 	if _, err := run.NewSession(run.Options{CacheGC: "sometimes"}); err == nil {
 		t.Error("want error for invalid cache-gc value")
 	}
+	if _, err := run.NewSession(run.Options{ProgressRefresh: -time.Second}); err == nil {
+		t.Error("want error for negative progress refresh")
+	}
 }
 
-// fastFigJobs builds the suite jobs for fastFigs.
-func fastFigJobs(t testing.TB) []run.Job[*experiments.Result] {
+// fastFigJobs resolves the suite jobs for fastFigs.
+func fastFigJobs(t testing.TB, seed int64) []spec.Resolved {
 	t.Helper()
-	jobs := make([]run.Job[*experiments.Result], 0, len(fastFigs))
-	for _, id := range fastFigs {
-		e, ok := experiments.Find(id)
-		if !ok {
-			t.Fatalf("experiment %s missing", id)
-		}
-		jobs = append(jobs, run.Job[*experiments.Result]{Name: e.ID, Build: e.Campaign})
+	specs := make([]spec.JobSpec, len(fastFigs))
+	for i, id := range fastFigs {
+		specs[i] = figSpec(id, seed)
+	}
+	jobs, err := spec.ResolveAll(specs)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return jobs
 }
@@ -197,21 +305,18 @@ func fastFigJobs(t testing.TB) []run.Job[*experiments.Result] {
 func TestSuiteParallelMatchesGoldenCorpus(t *testing.T) {
 	goldenDir := filepath.Join("..", "..", "experiments", "testdata", "golden")
 	for _, seed := range []int64{1, 5} {
-		s, err := run.NewSession(run.Options{Seed: seed, NoCache: true, SuiteParallel: 4})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, o := range run.ExecuteAll(s, fastFigJobs(t), nil) {
+		s := newSession(t, run.Options{NoCache: true, SuiteParallel: 4})
+		for _, o := range run.ExecuteAll(s, fastFigJobs(t, seed), nil) {
 			if o.Err != nil {
-				t.Fatalf("%s: %v", o.Name, o.Err)
+				t.Fatalf("%s: %v", o.Spec.ID, o.Err)
 			}
-			want, err := os.ReadFile(filepath.Join(goldenDir, fmt.Sprintf("%s_seed%d.golden", o.Name, seed)))
+			want, err := os.ReadFile(filepath.Join(goldenDir, fmt.Sprintf("%s_seed%d.golden", o.Spec.ID, seed)))
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got := o.Result.Render(); got != string(want) {
+			if got := o.Result.Figure.Render(); got != string(want) {
 				t.Errorf("%s seed %d under -suite-parallel 4 diverged from golden output\n--- got ---\n%s--- want ---\n%s",
-					o.Name, seed, got, want)
+					o.Spec.ID, seed, got, want)
 			}
 		}
 	}
@@ -219,22 +324,20 @@ func TestSuiteParallelMatchesGoldenCorpus(t *testing.T) {
 
 // TestSuiteParallelByteIdenticalAndOrdered runs the same suite at several
 // overlap factors and checks (a) rendered results are byte-identical to
-// sequential execution and (b) onDone always reports jobs in suite order.
+// sequential execution and (b) onDone always reports jobs in submission
+// order, even though overlapped dispatch reorders execution longest-first.
 func TestSuiteParallelByteIdenticalAndOrdered(t *testing.T) {
 	render := func(suiteParallel int) []string {
-		s, err := run.NewSession(run.Options{Seed: 1, NoCache: true, SuiteParallel: suiteParallel})
-		if err != nil {
-			t.Fatal(err)
-		}
+		s := newSession(t, run.Options{NoCache: true, SuiteParallel: suiteParallel})
 		var order, rendered []string
-		outs := run.ExecuteAll(s, fastFigJobs(t), func(o run.Outcome[*experiments.Result]) {
-			order = append(order, o.Name)
+		outs := run.ExecuteAll(s, fastFigJobs(t, 1), func(o run.Outcome) {
+			order = append(order, o.Spec.ID)
 		})
 		for _, o := range outs {
 			if o.Err != nil {
-				t.Fatalf("%s: %v", o.Name, o.Err)
+				t.Fatalf("%s: %v", o.Spec.ID, o.Err)
 			}
-			rendered = append(rendered, o.Result.Render())
+			rendered = append(rendered, o.Result.Figure.Render())
 		}
 		if strings.Join(order, ",") != strings.Join(fastFigs, ",") {
 			t.Errorf("suite-parallel %d: onDone order %v, want %v", suiteParallel, order, fastFigs)
@@ -254,6 +357,30 @@ func TestSuiteParallelByteIdenticalAndOrdered(t *testing.T) {
 	}
 }
 
+// TestExecuteAllUnorderedReportsEachJobOnce: the unordered variant still
+// returns submission-ordered outcomes and invokes onDone exactly once per
+// job — just not necessarily in submission order.
+func TestExecuteAllUnorderedReportsEachJobOnce(t *testing.T) {
+	s := newSession(t, run.Options{NoCache: true, SuiteParallel: 2})
+	seen := map[string]int{}
+	outs := run.ExecuteAllUnordered(s, fastFigJobs(t, 1), func(o run.Outcome) {
+		if o.Err != nil {
+			t.Errorf("%s: %v", o.Spec.ID, o.Err)
+		}
+		seen[o.Spec.ID]++
+	})
+	for i, o := range outs {
+		if o.Spec.ID != fastFigs[i] {
+			t.Errorf("outcome %d is %s, want submission order %v", i, o.Spec.ID, fastFigs)
+		}
+	}
+	for _, id := range fastFigs {
+		if seen[id] != 1 {
+			t.Errorf("onDone fired %d times for %s, want exactly once", seen[id], id)
+		}
+	}
+}
+
 // TestCacheHitDoesNotReplayExecutionMeta is the regression test for the
 // stale-metadata bug: the run that populates the cache executes with 4
 // workers, and a later hit from a -parallel 1 session must not report those
@@ -262,17 +389,14 @@ func TestSuiteParallelByteIdenticalAndOrdered(t *testing.T) {
 // values.
 func TestCacheHitDoesNotReplayExecutionMeta(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "cache")
-	sc, _ := engine.Find("multilat-town")
+	sp := scenSpec("multilat-town", 1, 8, 1)
 
-	first, err := run.NewSession(run.Options{Seed: 1, Trials: 8, ShardSize: 1, Workers: 4, CacheDir: dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep1, info, err := run.ExecuteScenario(first, sc)
+	first := newSession(t, run.Options{Workers: 4, CacheDir: dir})
+	res1, info, err := run.ExecuteSpec(first, sp)
 	if err != nil || info.Cached {
 		t.Fatalf("populating run: cached=%v err=%v", info.Cached, err)
 	}
-	if rep1.Workers == 0 {
+	if res1.Report.Workers == 0 {
 		t.Fatalf("populating run reports no workers; the fixture needs a parallel run")
 	}
 
@@ -281,78 +405,90 @@ func TestCacheHitDoesNotReplayExecutionMeta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := cache.Key{Scenario: sc.Name, Seed: 1, Trials: 8, ShardSize: 1, Fingerprint: cache.Fingerprint()}
-	var stored engine.Report
+	key := cache.Key{Kind: spec.KindScenario, Scenario: "multilat-town", Seed: 1, Trials: 8, ShardSize: 1,
+		Fingerprint: cache.Fingerprint()}
+	var stored spec.Value
 	if hit, err := c.Get(key, &stored); err != nil || !hit {
 		t.Fatalf("stored entry lookup: hit=%v err=%v", hit, err)
 	}
-	if stored.Workers != 0 || stored.ElapsedSeconds != 0 {
+	if stored.Report.Workers != 0 || stored.Report.ElapsedSeconds != 0 {
 		t.Errorf("cache stores execution metadata: workers=%d elapsed=%g, want both 0",
-			stored.Workers, stored.ElapsedSeconds)
+			stored.Report.Workers, stored.Report.ElapsedSeconds)
 	}
 
-	second, err := run.NewSession(run.Options{Seed: 1, Trials: 8, ShardSize: 1, Workers: 1, CacheDir: dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep2, info, err := run.ExecuteScenario(second, sc)
+	second := newSession(t, run.Options{Workers: 1, CacheDir: dir})
+	res2, info, err := run.ExecuteSpec(second, sp)
 	if err != nil || !info.Cached {
 		t.Fatalf("hit run: cached=%v err=%v", info.Cached, err)
 	}
-	if rep2.Workers != 0 {
-		t.Errorf("cache hit reports %d workers from the populating run, want 0", rep2.Workers)
+	if res2.Report.Workers != 0 {
+		t.Errorf("cache hit reports %d workers from the populating run, want 0", res2.Report.Workers)
+	}
+}
+
+// valueCampaign wraps a scenario as a Campaign[*spec.Value], the way tests
+// build synthetic resolved jobs outside the registries.
+func valueCampaign(sc engine.Scenario) engine.Campaign[*spec.Value] {
+	return engine.Campaign[*spec.Value]{
+		Scenario: sc,
+		Finalize: func(rep *engine.Report) (*spec.Value, error) { return &spec.Value{Report: rep}, nil },
 	}
 }
 
 // TestSuiteStopsAfterFailure pins the scheduler's fail-fast contract: the
-// failing job's error is the first one reported, nothing after it starts
-// fresh (sequential truncates; overlapped marks never-started jobs
-// ErrSkipped), and in-flight campaigns still report a usable outcome.
+// suite's genuine failures are the non-ErrSkipped errors (exactly one
+// here, since only one job can fail), nothing starts fresh after a
+// failure, every job still receives an outcome, and in-flight campaigns
+// report a usable one.
 func TestSuiteStopsAfterFailure(t *testing.T) {
-	sc, _ := engine.Find("multilat-town")
-	okJob := func(name string) run.Job[*engine.Report] {
-		return run.Job[*engine.Report]{Name: name,
-			Build: func(int64) engine.Campaign[*engine.Report] { return engine.ReportCampaign(sc) }}
+	okJob := func() spec.Resolved {
+		r, err := spec.Resolve(scenSpec("multilat-town", 1, 2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
 	}
-	boom := run.Job[*engine.Report]{Name: "boom",
-		Build: func(int64) engine.Campaign[*engine.Report] {
-			return engine.ReportCampaign(engine.Scenario{
-				Name: "boom", Trials: 2,
-				Run: func(*engine.T) error { return fmt.Errorf("kaboom") },
-			})
-		}}
-	jobs := []run.Job[*engine.Report]{okJob("a"), boom, okJob("b"), okJob("c")}
+	boomSc := engine.Scenario{
+		Name: "boom", Trials: 2,
+		Run: func(*engine.T) error { return fmt.Errorf("kaboom") },
+	}
+	boom := spec.Resolved{
+		Spec:     spec.JobSpec{Kind: spec.KindScenario, ID: "boom", Seed: 1, Trials: 2},
+		Campaign: valueCampaign(boomSc),
+		Trials:   2, ShardSize: engine.DefaultShardSize,
+	}
+	jobs := []spec.Resolved{okJob(), boom, okJob(), okJob()}
 
-	seq, err := run.NewSession(run.Options{Seed: 1, Trials: 2, NoCache: true, SuiteParallel: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
+	seq := newSession(t, run.Options{NoCache: true, SuiteParallel: 1})
 	outs := run.ExecuteAll(seq, jobs, nil)
-	if len(outs) != 2 || outs[0].Err != nil || outs[1].Err == nil {
-		t.Fatalf("sequential failure did not truncate the suite: %+v", outs)
+	if len(outs) != len(jobs) || outs[0].Err != nil || outs[1].Err == nil {
+		t.Fatalf("sequential failure lost outcomes: %+v", outs)
+	}
+	for _, o := range outs[2:] {
+		if !errors.Is(o.Err, run.ErrSkipped) {
+			t.Errorf("sequential job %s after the failure: %v, want ErrSkipped", o.Spec.ID, o.Err)
+		}
 	}
 
-	par, err := run.NewSession(run.Options{Seed: 1, Trials: 2, NoCache: true, SuiteParallel: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	par := newSession(t, run.Options{NoCache: true, SuiteParallel: 2})
 	outs = run.ExecuteAll(par, jobs, nil)
 	if len(outs) != len(jobs) {
 		t.Fatalf("overlapped suite returned %d outcomes, want %d", len(outs), len(jobs))
 	}
-	if outs[0].Err != nil {
-		t.Errorf("job before the failure errored: %v", outs[0].Err)
-	}
-	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "kaboom") {
-		t.Errorf("failing job's outcome = %v, want the kaboom error", outs[1].Err)
-	}
-	for _, o := range outs[2:] {
-		if o.Err == nil && o.Result == nil {
-			t.Errorf("job %s has neither a result nor an error", o.Name)
+	var genuine []string
+	for _, o := range outs {
+		if o.Err == nil {
+			if o.Result == nil {
+				t.Errorf("job %s has neither a result nor an error", o.Spec.ID)
+			}
+			continue
 		}
-		if o.Err != nil && !errors.Is(o.Err, run.ErrSkipped) {
-			t.Errorf("job %s after the failure: %v, want ErrSkipped or success", o.Name, o.Err)
+		if !errors.Is(o.Err, run.ErrSkipped) {
+			genuine = append(genuine, o.Err.Error())
 		}
+	}
+	if len(genuine) != 1 || !strings.Contains(genuine[0], "kaboom") {
+		t.Errorf("genuine failures = %v, want exactly the kaboom error", genuine)
 	}
 }
 
@@ -361,30 +497,27 @@ func TestSuiteStopsAfterFailure(t *testing.T) {
 // fall back to recomputation instead of silently recomputing.
 func TestCacheGetErrorWarns(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "cache")
-	sc, _ := engine.Find("multilat-town")
 	c, err := cache.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := cache.Key{Scenario: sc.Name, Seed: 1, Trials: 2, ShardSize: engine.DefaultShardSize,
-		Fingerprint: cache.Fingerprint()}
-	if err := c.Put(key, []int{1, 2, 3}); err != nil { // an array cannot decode into a Report
+	key := cache.Key{Kind: spec.KindScenario, Scenario: "multilat-town", Seed: 1, Trials: 2,
+		ShardSize: engine.DefaultShardSize, Fingerprint: cache.Fingerprint()}
+	if err := c.Put(key, []int{1, 2, 3}); err != nil { // an array cannot decode into a Value
 		t.Fatal(err)
 	}
 
 	var warnings bytes.Buffer
-	s, err := run.NewSession(run.Options{Seed: 1, Trials: 2, CacheDir: dir, Warnings: &warnings})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep, info, err := run.ExecuteScenario(s, sc)
+	s := newSession(t, run.Options{CacheDir: dir, Warnings: &warnings})
+	sp := scenSpec("multilat-town", 1, 2, 0)
+	res, info, err := run.ExecuteSpec(s, sp)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Cached {
 		t.Error("undecodable entry served as a cache hit")
 	}
-	if rep == nil || s.TrialsExecuted() != 2 {
+	if res == nil || s.TrialsExecuted() != 2 {
 		t.Errorf("fallback recompute did not run: trials=%d", s.TrialsExecuted())
 	}
 	if w := warnings.String(); !strings.Contains(w, "multilat-town") || !strings.Contains(w, "cache") {
@@ -393,11 +526,8 @@ func TestCacheGetErrorWarns(t *testing.T) {
 
 	// The recompute overwrote the bad entry, so the next run hits cleanly.
 	warnings.Reset()
-	s2, err := run.NewSession(run.Options{Seed: 1, Trials: 2, CacheDir: dir, Warnings: &warnings})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, info, err := run.ExecuteScenario(s2, sc); err != nil || !info.Cached {
+	s2 := newSession(t, run.Options{CacheDir: dir, Warnings: &warnings})
+	if _, info, err := run.ExecuteSpec(s2, sp); err != nil || !info.Cached {
 		t.Errorf("after recompute: cached=%v err=%v, want a clean hit", info.Cached, err)
 	}
 	if warnings.Len() != 0 {
@@ -410,12 +540,8 @@ func TestCacheGetErrorWarns(t *testing.T) {
 // return — with a monotonic counter ending at total/total.
 func TestProgressNonTTYNewlines(t *testing.T) {
 	var buf bytes.Buffer
-	s, err := run.NewSession(run.Options{Seed: 1, Trials: 16, ShardSize: 1, NoCache: true, Progress: &buf})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sc, _ := engine.Find("multilat-town")
-	if _, _, err := run.ExecuteScenario(s, sc); err != nil {
+	s := newSession(t, run.Options{NoCache: true, Progress: &buf})
+	if _, _, err := run.ExecuteSpec(s, scenSpec("multilat-town", 1, 16, 1)); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -475,7 +601,7 @@ func TestSessionCacheGCSweepsOldEntries(t *testing.T) {
 
 	offDir := filepath.Join(t.TempDir(), "cache-off")
 	k := newAgedEntry(offDir)
-	if _, err := run.NewSession(run.Options{Seed: 1, CacheDir: offDir, CacheGC: "off"}); err != nil {
+	if _, err := run.NewSession(run.Options{CacheDir: offDir, CacheGC: "off"}); err != nil {
 		t.Fatal(err)
 	}
 	if !lookup(offDir, k) {
@@ -484,7 +610,7 @@ func TestSessionCacheGCSweepsOldEntries(t *testing.T) {
 
 	onDir := filepath.Join(t.TempDir(), "cache-on")
 	k = newAgedEntry(onDir)
-	if _, err := run.NewSession(run.Options{Seed: 1, CacheDir: onDir}); err != nil {
+	if _, err := run.NewSession(run.Options{CacheDir: onDir}); err != nil {
 		t.Fatal(err)
 	}
 	if lookup(onDir, k) {
@@ -492,19 +618,17 @@ func TestSessionCacheGCSweepsOldEntries(t *testing.T) {
 	}
 }
 
-// TestSuiteParallelSharesCacheSafely schedules the same campaign twice in
-// one overlapped suite: per-key serialization must compute it once and hand
-// the duplicate a cache hit (never a torn or raced entry).
+// TestSuiteParallelSharesCacheSafely schedules the same job twice in one
+// overlapped suite: per-key serialization must compute it once and hand the
+// duplicate a cache hit (never a torn or raced entry).
 func TestSuiteParallelSharesCacheSafely(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "cache")
-	s, err := run.NewSession(run.Options{Seed: 1, Trials: 4, CacheDir: dir, SuiteParallel: 2})
+	s := newSession(t, run.Options{CacheDir: dir, SuiteParallel: 2})
+	job, err := spec.Resolve(scenSpec("multilat-town", 1, 4, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc, _ := engine.Find("multilat-town")
-	job := run.Job[*engine.Report]{Name: sc.Name,
-		Build: func(int64) engine.Campaign[*engine.Report] { return engine.ReportCampaign(sc) }}
-	outs := run.ExecuteAll(s, []run.Job[*engine.Report]{job, job}, nil)
+	outs := run.ExecuteAll(s, []spec.Resolved{job, job}, nil)
 	hits := 0
 	for _, o := range outs {
 		if o.Err != nil {

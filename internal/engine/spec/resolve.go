@@ -1,0 +1,140 @@
+package spec
+
+import (
+	"fmt"
+
+	"resilientloc/internal/engine"
+	"resilientloc/internal/experiments"
+)
+
+// Value is the uniform result of a spec-driven execution: exactly one field
+// is set, matching the spec's kind. One concrete result type is what lets
+// one runner, one cache entry shape, and one service response carry every
+// campaign in the repository.
+type Value struct {
+	// Figure is the result of a KindFigure job.
+	Figure *experiments.Result `json:"figure,omitempty"`
+	// Report is the result of a KindScenario job.
+	Report *engine.Report `json:"report,omitempty"`
+}
+
+// ClearExecutionMeta strips the per-invocation execution metadata (worker
+// count, wall time) so a cached Value never replays the populating run's
+// numbers. Figure results carry no execution metadata.
+func (v *Value) ClearExecutionMeta() {
+	if v.Report != nil {
+		v.Report.ClearExecutionMeta()
+	}
+}
+
+// SetExecutionMeta stamps the current invocation's execution metadata.
+func (v *Value) SetExecutionMeta(workers int, elapsedSeconds float64) {
+	if v.Report != nil {
+		v.Report.SetExecutionMeta(workers, elapsedSeconds)
+	}
+}
+
+// Resolved couples a validated spec with the executable campaign it names
+// and the effective execution parameters the engine would use for it. The
+// unified runner (internal/engine/run) executes Resolved jobs; tests may
+// construct one directly around a synthetic campaign.
+type Resolved struct {
+	// Spec is the job description this was resolved from.
+	Spec JobSpec
+	// Campaign is the executable campaign, finalizing into a *Value.
+	Campaign engine.Campaign[*Value]
+	// Trials is the effective trial count (after the spec's override and
+	// the campaign's pins). Trials and ShardSize are advisory metadata for
+	// scheduling and display; execution and the cache key always re-derive
+	// them from Spec + Campaign (the same arithmetic Resolve uses), so a
+	// hand-built Resolved with stale sizes is mis-sorted, never mis-keyed.
+	Trials int
+	// ShardSize is the effective shard size.
+	ShardSize int
+}
+
+// Shards returns the number of aggregation shards the job partitions into.
+func (r Resolved) Shards() int {
+	if r.ShardSize <= 0 {
+		return 0
+	}
+	return (r.Trials + r.ShardSize - 1) / r.ShardSize
+}
+
+// wrapCampaign lifts a campaign of any result type into one finalizing to a
+// *Value via wrap.
+func wrapCampaign[R any](c engine.Campaign[R], wrap func(R) *Value) engine.Campaign[*Value] {
+	return engine.Campaign[*Value]{
+		Scenario:        c.Scenario,
+		ShardSize:       c.ShardSize,
+		FixedTrials:     c.FixedTrials,
+		KeepTrialValues: c.KeepTrialValues,
+		Finalize: func(rep *engine.Report) (*Value, error) {
+			r, err := c.Finalize(rep)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(r), nil
+		},
+	}
+}
+
+// Resolve validates the spec and maps it onto its registry: experiments.Find
+// for figures, engine.Find for library scenarios. The returned job carries
+// the effective trial/shard parameters, so callers can size, order, and
+// cache-key the work before running any of it.
+func Resolve(s JobSpec) (Resolved, error) {
+	if err := s.Validate(); err != nil {
+		return Resolved{}, err
+	}
+	var campaign engine.Campaign[*Value]
+	switch s.Kind {
+	case KindFigure:
+		e, ok := experiments.Find(s.ID)
+		if !ok {
+			return Resolved{}, fmt.Errorf("spec: unknown figure job %q", s.ID)
+		}
+		campaign = wrapCampaign(e.Campaign(s.Seed), func(r *experiments.Result) *Value { return &Value{Figure: r} })
+	case KindScenario:
+		sc, ok := engine.Find(s.ID)
+		if !ok {
+			return Resolved{}, fmt.Errorf("spec: unknown scenario job %q", s.ID)
+		}
+		campaign = wrapCampaign(engine.ReportCampaign(sc), func(r *engine.Report) *Value { return &Value{Report: r} })
+		campaign.KeepTrialValues = s.KeepTrialValues
+	}
+	// Resolve the effective execution parameters exactly as the engine will:
+	// spec overrides into the config, campaign pins on top.
+	runner, err := engine.NewRunner(engine.Config{Trials: s.Trials, ShardSize: s.ShardSize, Seed: s.Seed})
+	if err != nil {
+		return Resolved{}, fmt.Errorf("spec: %s: %w", s.ID, err)
+	}
+	trials, shardSize := engine.CampaignConfig(runner, campaign)
+	if trials <= 0 {
+		return Resolved{}, fmt.Errorf("spec: %s: no trial count configured", s.ID)
+	}
+	if r := s.TrialRange; r != nil && (r.Lo != 0 || r.Hi != trials) {
+		// The schema reserves sub-ranges for the sharding coordinator; until
+		// partial execution and shard-aggregate merging exist, accepting one
+		// here would silently compute the wrong aggregate.
+		return Resolved{}, fmt.Errorf(
+			"spec: %s: partial trial range [%d, %d) of %d trials is reserved for the sharding coordinator; drop \"trial_range\" or cover the full range",
+			s.ID, r.Lo, r.Hi, trials)
+	}
+	return Resolved{Spec: s, Campaign: campaign, Trials: trials, ShardSize: shardSize}, nil
+}
+
+// ResolveAll resolves every spec, failing on the first unresolvable one —
+// a batch with an unknown or unrunnable job is rejected before any work
+// starts.
+func ResolveAll(specs []JobSpec) ([]Resolved, error) {
+	jobs := make([]Resolved, len(specs))
+	for i, s := range specs {
+		r, err := Resolve(s)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = r
+	}
+	return jobs, nil
+}

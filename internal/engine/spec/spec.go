@@ -1,0 +1,207 @@
+// Package spec is the declarative, wire-addressable job surface of the
+// engine: a JobSpec is a JSON-serializable description of one campaign
+// execution — which experiment or library scenario, at which seed, with
+// which trial/shard overrides — that can be validated, canonically encoded,
+// content-addressed, and resolved onto the in-process registries
+// (internal/experiments and the engine scenario library).
+//
+// Everything that executes campaigns goes through specs: both CLIs compile
+// their flags into specs (and accept ready-made spec files via -spec), and
+// the locd service accepts spec batches over HTTP. A spec's canonical
+// encoding doubles as its identity: Hash() is the job ID locd serves, and —
+// because the spec carries exactly the inputs a campaign result is a pure
+// function of — identical specs are the same job, which is what makes
+// submissions deduplicable across processes and machines.
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Job kinds: which registry the spec's ID names.
+const (
+	// KindFigure runs a paper-figure reproduction from internal/experiments.
+	KindFigure = "figure"
+	// KindScenario runs a library scenario from the engine scenario library.
+	KindScenario = "scenario"
+)
+
+// Range is a half-open trial range [Lo, Hi). It is the suite-sharding
+// coordination record: a future coordinator hands each worker process a
+// sub-range of one spec's trials and merges the shard aggregates. Until that
+// coordinator exists, only the full range (or no range) is executable — see
+// Resolve — but the field is part of the wire schema today so spec files and
+// job hashes stay stable when sharding lands.
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// JobSpec declares one campaign execution. The zero values of the optional
+// fields mean "use the campaign's defaults", so the minimal useful spec is
+// {"kind": "figure", "id": "fig06", "seed": 1}.
+type JobSpec struct {
+	// Kind selects the registry: KindFigure or KindScenario.
+	Kind string `json:"kind"`
+	// ID names the job within its registry: an experiment ID ("fig06",
+	// "maxrange") or a library scenario name ("multilat-town").
+	ID string `json:"id"`
+	// Seed is the base seed; results are deterministic per seed.
+	Seed int64 `json:"seed"`
+	// Trials overrides the scenario's default trial count when positive.
+	// Figure jobs pin their trial structure and reject an override.
+	Trials int `json:"trials,omitempty"`
+	// ShardSize overrides the engine's default shard partition when
+	// positive. Like Trials it is a cache-key ingredient; figure jobs pin
+	// their own partitions and reject an override.
+	ShardSize int `json:"shard_size,omitempty"`
+	// KeepTrialValues retains per-trial metric values for the campaign's
+	// Finalize step. Retained values feed result assembly only; they are
+	// not part of the serialized result, which is also why retention jobs
+	// bypass the result cache (a hit could not restore them).
+	KeepTrialValues bool `json:"keep_trial_values,omitempty"`
+	// TrialRange optionally restricts execution to a trial sub-range for
+	// distributed suite sharding; see Range.
+	TrialRange *Range `json:"trial_range,omitempty"`
+}
+
+// Validate checks the spec's self-contained invariants (registry lookups
+// happen in Resolve).
+func (s JobSpec) Validate() error {
+	switch s.Kind {
+	case KindFigure, KindScenario:
+	case "":
+		return fmt.Errorf("spec: missing kind (want %q or %q)", KindFigure, KindScenario)
+	default:
+		return fmt.Errorf("spec: unknown kind %q (want %q or %q)", s.Kind, KindFigure, KindScenario)
+	}
+	if s.ID == "" {
+		return fmt.Errorf("spec: missing id")
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("spec: %s: negative trial count %d", s.ID, s.Trials)
+	}
+	if s.ShardSize < 0 {
+		return fmt.Errorf("spec: %s: negative shard size %d", s.ID, s.ShardSize)
+	}
+	if s.Kind == KindFigure {
+		// A figure's trial structure (trial count, shard partition, retained
+		// values) is part of its definition; silently ignoring an override
+		// would make equal-looking specs hash differently while producing
+		// the same bytes, so reject instead.
+		switch {
+		case s.Trials != 0:
+			return fmt.Errorf("spec: %s: figure jobs pin their trial count; drop \"trials\"", s.ID)
+		case s.ShardSize != 0:
+			return fmt.Errorf("spec: %s: figure jobs pin their shard partition; drop \"shard_size\"", s.ID)
+		case s.KeepTrialValues:
+			return fmt.Errorf("spec: %s: figure jobs declare their own retention; drop \"keep_trial_values\"", s.ID)
+		}
+	}
+	if r := s.TrialRange; r != nil {
+		if r.Lo < 0 || r.Hi <= r.Lo {
+			return fmt.Errorf("spec: %s: invalid trial range [%d, %d)", s.ID, r.Lo, r.Hi)
+		}
+	}
+	return nil
+}
+
+// Canonical returns the spec's canonical encoding: the compact JSON of the
+// struct with optional zero-value fields omitted, so every way of writing
+// the same job ("trials": 0, field order, whitespace) encodes to the same
+// bytes. The encoding is what Hash addresses and what decodes back to an
+// equal spec.
+func (s JobSpec) Canonical() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// JobSpec is strings, integers, and a flat pointer struct; Marshal
+		// cannot fail.
+		panic(fmt.Sprintf("spec: marshal: %v", err))
+	}
+	return b
+}
+
+// Hash returns the spec's content address — the hex SHA-256 of its
+// canonical encoding. Identical specs are the same job: locd uses this as
+// the wire-visible job ID and deduplicates submissions on it.
+func (s JobSpec) Hash() string {
+	sum := sha256.Sum256(s.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// Decode reads one spec or a JSON array of specs from r. Unknown fields are
+// rejected (a typoed knob must not silently become a default), every spec is
+// validated, and an empty list is an error.
+func Decode(r io.Reader) ([]JobSpec, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("spec: read: %w", err)
+	}
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("spec: empty input")
+	}
+	var specs []JobSpec
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if trimmed[0] == '[' {
+		err = dec.Decode(&specs)
+	} else {
+		var one JobSpec
+		if err = dec.Decode(&one); err == nil {
+			specs = []JobSpec{one}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spec: decode: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after the spec document")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("spec: no jobs in input")
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("spec %d/%d: %w", i+1, len(specs), err)
+		}
+	}
+	return specs, nil
+}
+
+// LoadFile decodes a spec file (one spec object or an array).
+func LoadFile(path string) ([]JobSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	defer f.Close()
+	specs, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return specs, nil
+}
+
+// LoadFileOfKind decodes a spec file and requires every spec to be of one
+// kind — the shared guard for single-kind front-ends (cmd/experiments runs
+// figure specs, cmd/scenarios scenario specs; locd runs both).
+func LoadFileOfKind(path, kind string) ([]JobSpec, error) {
+	specs, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range specs {
+		if s.Kind != kind {
+			return nil, fmt.Errorf("%s: spec %s has kind %q; this command runs %s specs (use the other CLI or locd)",
+				path, s.ID, s.Kind, kind)
+		}
+	}
+	return specs, nil
+}
