@@ -9,6 +9,7 @@
 package resilientloc_test
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -292,6 +293,72 @@ func BenchmarkFigSuiteCacheHit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		warm(true)
+	}
+}
+
+// --- Distributed-coordinator benchmarks ----------------------------------
+
+// BenchmarkPartialRun executes one quarter-range of the 64-trial town
+// multilateration scenario as a serializable partial — the unit of work a
+// locd worker performs for the trial-range coordinator. Compare against a
+// quarter of BenchmarkRunnerParallel's time to read the partial-execution
+// overhead (piece bookkeeping plus aggregate serialization structures).
+func BenchmarkPartialRun(b *testing.B) {
+	s, ok := engine.Find("multilat-town")
+	if !ok {
+		b.Fatal("multilat-town missing from scenario library")
+	}
+	r, err := engine.NewRunner(engine.Config{Trials: 64, ShardSize: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunPartial(s, 16, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoordMerge measures reassembling a fully partitioned run from
+// its wire-encoded partials — the coordinator's merge step, including the
+// JSON decode each partial pays crossing the process boundary. The
+// partition is deliberately unaligned (8 ranges over shard size 2 with odd
+// boundaries) so both the state-restore and raw-replay merge paths run.
+func BenchmarkCoordMerge(b *testing.B) {
+	s, ok := engine.Find("multilat-town")
+	if !ok {
+		b.Fatal("multilat-town missing from scenario library")
+	}
+	r, err := engine.NewRunner(engine.Config{Trials: 64, ShardSize: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cuts := []int{0, 7, 16, 21, 32, 33, 40, 57, 64}
+	var encoded [][]byte
+	for i := 0; i+1 < len(cuts); i++ {
+		p, err := r.RunPartial(s, cuts[i], cuts[i+1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, err := json.Marshal(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		encoded = append(encoded, raw)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts := make([]*engine.Partial, len(encoded))
+		for j, raw := range encoded {
+			parts[j] = new(engine.Partial)
+			if err := json.Unmarshal(raw, parts[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := engine.MergePartials(parts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -35,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"resilientloc/internal/engine/coord"
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
 	"resilientloc/internal/experiments"
@@ -80,6 +82,9 @@ func realMain(args []string, out io.Writer) error {
 	opts.RegisterSuiteParallel(fs)
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	specFile := fs.String("spec", "", "JSON job-spec file to execute instead of -only selection")
+	workers := fs.String("workers", "",
+		"comma-separated locd worker URLs: distribute each figure's trials across them instead of running locally")
+	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed figure (0 = one per worker; needs -workers)")
 	asJSON := fs.Bool("json", false, "emit results as a JSON array")
 	progress := fs.Bool("progress", true, "stream per-figure trial progress to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +102,12 @@ func realMain(args []string, out io.Writer) error {
 	specs, err := buildSpecs(opts, *only, *specFile)
 	if err != nil {
 		return err
+	}
+	if *workers != "" {
+		return runDistributed(out, specs, *workers, *ranges, *asJSON, *progress)
+	}
+	if *ranges != 0 {
+		return fmt.Errorf("-ranges needs -workers")
 	}
 	jobs, err := spec.ResolveAll(specs)
 	if err != nil {
@@ -132,6 +143,41 @@ func realMain(args []string, out io.Writer) error {
 		return firstErr
 	}
 	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	return nil
+}
+
+// runDistributed executes each figure spec across the locd worker fleet via
+// the trial-range coordinator. Figure results are byte-identical to the
+// local path (figures carry no execution metadata), so -json output matches
+// a local run exactly.
+func runDistributed(out io.Writer, specs []spec.JobSpec, workers string, ranges int, asJSON, progress bool) error {
+	urls := coord.ParseWorkers(workers)
+	var results []*experiments.Result
+	for _, sp := range specs {
+		start := time.Now()
+		opts := coord.Options{Workers: urls, Ranges: ranges, Warnings: os.Stderr}
+		if progress && !asJSON {
+			opts.OnProgress = coord.MilestoneProgress(os.Stderr, sp.ID)
+		}
+		val, st, err := coord.Execute(context.Background(), sp, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sp.ID, err)
+		}
+		if val.Figure == nil {
+			return fmt.Errorf("%s: coordinator returned no figure", sp.ID)
+		}
+		results = append(results, val.Figure)
+		if !asJSON {
+			fmt.Fprint(out, val.Figure.Render())
+			fmt.Fprintf(out, "  (distributed: %d ranges over %d workers, elapsed: %v)\n\n",
+				st.Ranges, st.Workers, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(results)

@@ -1,0 +1,140 @@
+// Command locc is the distributed job coordinator CLI: it splits each job's
+// trial space into trial_range sub-jobs, fans them out across a fleet of
+// locd workers, retries failed or stalled ranges on the survivors, and
+// merges the returned partial aggregates into the job's full result —
+// byte-identical to running the same spec in one process (pinned by the
+// golden corpus; execution metadata aside).
+//
+// Usage:
+//
+//	locc -workers http://host1:8090,http://host2:8090 -spec jobs.json [-json]
+//	locc -workers ... -kind scenario -id multilat-town [-seed S] [-trials N] [-shard-size N]
+//	locc -workers ... -kind figure -id maxrange [-seed S] [-ranges N] [-stall-timeout 5m]
+//
+// Jobs run sequentially; each job's trials are what distribute. -ranges
+// controls the split granularity (default: one range per worker). Every
+// sub-job is content-addressed on the worker fleet — its spec hash is the
+// job ID and its range-extended cache key the on-disk record — so retried
+// or duplicated ranges are deduplicated, not recomputed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"resilientloc/internal/engine/coord"
+	"resilientloc/internal/engine/spec"
+)
+
+func main() {
+	if err := realMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "locc:", err)
+		os.Exit(1)
+	}
+}
+
+// buildSpecs compiles the CLI selection into job specs: a spec file, or a
+// single job from -kind/-id plus the parameter flags.
+func buildSpecs(specFile, kind, id string, seed int64, trials, shardSize int) ([]spec.JobSpec, error) {
+	if specFile != "" {
+		if kind != "" || id != "" {
+			return nil, fmt.Errorf("use either -spec or -kind/-id, not both")
+		}
+		return spec.LoadFile(specFile)
+	}
+	if id == "" {
+		return nil, fmt.Errorf("nothing to run: give -spec file.json or -kind KIND -id ID")
+	}
+	sp := spec.JobSpec{Kind: kind, ID: id, Seed: seed, Trials: trials, ShardSize: shardSize}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return []spec.JobSpec{sp}, nil
+}
+
+func realMain(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("locc", flag.ContinueOnError)
+	workersFlag := fs.String("workers", "", "comma-separated locd worker base URLs (required)")
+	ranges := fs.Int("ranges", 0, "trial sub-ranges per job (0 = one per worker)")
+	stall := fs.Duration("stall-timeout", 0,
+		"event-stream silence before a range is hedged onto another worker (0 = default)")
+	specFile := fs.String("spec", "", "JSON job-spec file to execute (one object or an array)")
+	kind := fs.String("kind", "", `job kind for -id: "figure" or "scenario"`)
+	id := fs.String("id", "", "job id to run (an experiment ID or scenario name)")
+	seed := fs.Int64("seed", 1, "base random seed")
+	trials := fs.Int("trials", 0, "trial-count override (scenario jobs only)")
+	shardSize := fs.Int("shard-size", 0, "shard-size override (scenario jobs only)")
+	asJSON := fs.Bool("json", false, "emit results as a JSON array (figures and reports, naked)")
+	progress := fs.Bool("progress", true, "print aggregate trial progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	workers := coord.ParseWorkers(*workersFlag)
+	if len(workers) == 0 {
+		return fmt.Errorf("no workers: -workers http://host:8090[,http://host2:8090] is required")
+	}
+	specs, err := buildSpecs(*specFile, *kind, *id, *seed, *trials, *shardSize)
+	if err != nil {
+		return err
+	}
+
+	var results []json.RawMessage
+	for _, sp := range specs {
+		opts := coord.Options{
+			Workers:      workers,
+			Ranges:       *ranges,
+			StallTimeout: *stall,
+			Warnings:     errOut,
+		}
+		if *progress && !*asJSON {
+			opts.OnProgress = coord.MilestoneProgress(errOut, sp.ID)
+		}
+		start := time.Now()
+		val, st, err := coord.Execute(context.Background(), sp, opts)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			raw, err := nakedResult(val)
+			if err != nil {
+				return err
+			}
+			results = append(results, raw)
+			continue
+		}
+		switch {
+		case val.Figure != nil:
+			fmt.Fprint(out, val.Figure.Render())
+		case val.Report != nil:
+			val.Report.WriteSummary(out, fmt.Sprintf("%d workers, %.2fs",
+				val.Report.Workers, val.Report.ElapsedSeconds))
+		default:
+			return fmt.Errorf("%s: coordinator returned no figure or report", sp.ID)
+		}
+		fmt.Fprintf(out, "  (distributed: %d ranges over %d workers, %d retries, %v)\n\n",
+			st.Ranges, st.Workers, st.Retries, time.Since(start).Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	return nil
+}
+
+// nakedResult strips the Value envelope so -json output matches the shape
+// of cmd/experiments -json (figures) and cmd/scenarios -json (reports).
+func nakedResult(val *spec.Value) (json.RawMessage, error) {
+	switch {
+	case val.Figure != nil:
+		return json.Marshal(val.Figure)
+	case val.Report != nil:
+		return json.Marshal(val.Report)
+	}
+	return nil, fmt.Errorf("coordinator returned no figure or report")
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/run"
+	"resilientloc/internal/engine/spec"
+	"resilientloc/internal/experiments"
+	"resilientloc/internal/locsrv"
+)
+
+// twoWorkers stands up two real locd services and returns their -workers
+// flag value.
+func twoWorkers(t *testing.T) string {
+	t.Helper()
+	var urls []string
+	for i := 0; i < 2; i++ {
+		srv, err := locsrv.New(run.Options{CacheDir: filepath.Join(t.TempDir(), "cache")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { srv.Close(); hs.Close() })
+		urls = append(urls, hs.URL)
+	}
+	return strings.Join(urls, ",")
+}
+
+// TestDistributedScenarioMatchesLocal: a scenario coordinated over two
+// workers emits the same aggregates as cmd/scenarios would locally (the
+// JSON shapes match; execution metadata aside).
+func TestDistributedScenarioMatchesLocal(t *testing.T) {
+	workers := twoWorkers(t)
+	var buf bytes.Buffer
+	err := realMain([]string{"-workers", workers, "-kind", "scenario", "-id", "multilat-town",
+		"-seed", "2", "-trials", "6", "-json"}, &buf, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*engine.Report
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, buf.String())
+	}
+	if len(reports) != 1 || reports[0].Scenario != "multilat-town" || reports[0].Trials != 6 {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+
+	// Reference: the same job through the local runner.
+	sess, err := run.NewSession(run.Options{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _, err := run.ExecuteSpec(sess, spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 2, Trials: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := *reports[0], *val.Report
+	got.ClearExecutionMeta()
+	want.ClearExecutionMeta()
+	gj, _ := json.Marshal(&got)
+	wj, _ := json.Marshal(&want)
+	if string(gj) != string(wj) {
+		t.Errorf("distributed aggregates diverged\n got %s\nwant %s", gj, wj)
+	}
+}
+
+// TestDistributedFigureMatchesGolden: a multi-trial figure over the fleet
+// renders byte-identically to the golden corpus, from a spec file.
+func TestDistributedFigureMatchesGolden(t *testing.T) {
+	workers := twoWorkers(t)
+	specFile := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(specFile, []byte(`{"kind":"figure","id":"maxrange","seed":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := realMain([]string{"-workers", workers, "-ranges", "3", "-spec", specFile, "-json"}, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var results []*experiments.Result
+	if err := json.Unmarshal(buf.Bytes(), &results); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, buf.String())
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "internal", "experiments", "testdata", "golden", "maxrange_seed1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Render() != string(want) {
+		t.Error("distributed maxrange diverged from golden output")
+	}
+
+	// Text mode renders the figure plus a distribution footer.
+	buf.Reset()
+	if err := realMain([]string{"-workers", workers, "-spec", specFile, "-progress=false"}, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "maxrange") || !strings.Contains(buf.String(), "(distributed:") {
+		t.Errorf("text output missing figure or footer:\n%s", buf.String())
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		{},                         // no workers
+		{"-workers", "http://x:1"}, // nothing to run
+		{"-workers", "http://x:1", "-spec", "a.json", "-id", "b", "-kind", "scenario"}, // both selections
+		{"-workers", "http://x:1", "-kind", "bogus", "-id", "x"},                       // bad kind
+	} {
+		if err := realMain(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

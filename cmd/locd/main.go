@@ -1,18 +1,12 @@
 // Command locd is the long-lived localization-result service: an HTTP
-// front-end over the same spec-driven campaign runner the CLIs use. Clients
-// submit declarative job specs (spec.JobSpec) and poll — or stream — results
-// over the wire, which is the substrate suite sharding across processes and
-// machines plugs into.
+// front-end over the same spec-driven campaign runner the CLIs use, served
+// by internal/locsrv. Clients submit declarative job specs (spec.JobSpec)
+// and poll — or stream — results over the wire; specs restricted to a
+// trial sub-range execute partially, which is what the distributed
+// coordinator (internal/engine/coord, cmd/locc) fans out across a fleet of
+// locd workers.
 //
-// Jobs are wire-addressable and content-addressed: a job's ID is the
-// SHA-256 of its spec's canonical encoding, so identical submissions are
-// the same job. Resubmitting a spec while its first run is in flight
-// attaches to that run (and a submission whose cache key is already
-// populated is answered from the on-disk result cache with zero trial
-// computation — the same cache the CLIs share when pointed at the same
-// directory and binary).
-//
-// Endpoints:
+// Endpoints (see internal/locsrv for the wire contract):
 //
 //	POST /v1/jobs             submit one spec or an array; returns job IDs
 //	GET  /v1/jobs/{id}        job status, and the result once done
@@ -34,19 +28,17 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
 	"resilientloc/internal/engine/run"
-	"resilientloc/internal/engine/spec"
+	"resilientloc/internal/locsrv"
 )
 
 func main() {
@@ -72,16 +64,16 @@ func realMain(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := newServer(opts)
+	srv, err := locsrv.New(opts)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "locd: listening on %s (cache: %s)\n", *addr, orOff(srv.sess.CacheDir()))
+		fmt.Fprintf(os.Stderr, "locd: listening on %s (cache: %s)\n", *addr, orOff(srv.Session().CacheDir()))
 		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -93,7 +85,7 @@ func realMain(args []string) error {
 		// Unblock long-lived event streams first: Shutdown waits for open
 		// connections, and an events subscriber on a running job would
 		// otherwise hold the daemon until the timeout on every restart.
-		close(srv.stop)
+		srv.Close()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return hs.Shutdown(shutdownCtx)
@@ -105,357 +97,4 @@ func orOff(dir string) string {
 		return "off"
 	}
 	return dir
-}
-
-// job is one wire-addressable execution: a resolved spec plus its
-// life-cycle state. All fields are guarded by the server mutex.
-type job struct {
-	id       string
-	resolved spec.Resolved
-	status   string // "running", "done", "failed"
-	trials   int    // effective total trial count
-	progress int    // trials completed so far
-	result   *spec.Value
-	info     run.Info
-	errMsg   string
-	skipped  bool                     // failed only because a batch sibling failed; retryable
-	done     chan struct{}            // closed when the job leaves "running"
-	subs     map[chan [2]int]struct{} // event subscribers: (done, total)
-}
-
-// maxFinishedJobs bounds the in-memory job table: finished jobs beyond the
-// cap are evicted oldest-first (their results live on in the result cache;
-// an evicted id polls as 404 and resubmits as a fresh — typically cached —
-// job). Running jobs are never evicted. A variable so tests can shrink it.
-var maxFinishedJobs = 1024
-
-type server struct {
-	sess *run.Session
-	stop chan struct{} // closed at shutdown to unblock event streams
-
-	mu       sync.Mutex
-	jobs     map[string]*job
-	finished []string // finished job ids in completion order, for eviction
-}
-
-// newServer builds the job table and its session. The session's OnProgress
-// hook is bound before the session exists, because NewSession needs the
-// final Options — the hook only dereferences the server, which is ready.
-func newServer(opts run.Options) (*server, error) {
-	s := &server{jobs: make(map[string]*job), stop: make(chan struct{})}
-	opts.OnProgress = s.onProgress
-	sess, err := run.NewSession(opts)
-	if err != nil {
-		return nil, err
-	}
-	s.sess = sess
-	return s, nil
-}
-
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/cache/{key}", s.handleCache)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-// jobSummary is the wire representation of a job.
-type jobSummary struct {
-	ID             string       `json:"id"`
-	Spec           spec.JobSpec `json:"spec"`
-	Status         string       `json:"status"`
-	Trials         int          `json:"trials"`
-	DoneTrials     int          `json:"done_trials"`
-	Cached         bool         `json:"cached,omitempty"`
-	ElapsedSeconds float64      `json:"elapsed_seconds,omitempty"`
-	CacheKey       string       `json:"cache_key,omitempty"`
-	Error          string       `json:"error,omitempty"`
-	// Skipped marks a failure that only reflects a batch sibling's error;
-	// the job is retryable by resubmitting its spec. The machine-readable
-	// field is the contract — the error text is not.
-	Skipped bool        `json:"skipped,omitempty"`
-	URL     string      `json:"url"`
-	Result  *spec.Value `json:"result,omitempty"`
-}
-
-// summaryLocked renders a job; the caller holds s.mu.
-func (j *job) summaryLocked(withResult bool) jobSummary {
-	v := jobSummary{
-		ID:         j.id,
-		Spec:       j.resolved.Spec,
-		Status:     j.status,
-		Trials:     j.trials,
-		DoneTrials: j.progress,
-		Cached:     j.info.Cached,
-		CacheKey:   j.info.CacheKey,
-		Error:      j.errMsg,
-		Skipped:    j.skipped,
-		URL:        "/v1/jobs/" + j.id,
-	}
-	if j.status != "running" {
-		v.ElapsedSeconds = j.info.Elapsed.Seconds()
-	}
-	if withResult && j.status == "done" {
-		v.Result = j.result
-	}
-	return v
-}
-
-// handleSubmit accepts one spec or an array, registers the new jobs, and
-// launches one suite run for them. Specs whose job ID already exists —
-// running or finished — are answered with the existing job, so identical
-// concurrent submissions compute their trials exactly once. A job that
-// failed only because a batch sibling failed (skipped) is retried by
-// resubmission instead of being memoized forever.
-func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	specs, err := spec.Decode(http.MaxBytesReader(w, r.Body, 4<<20))
-	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, tooLarge)
-			return
-		}
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	for _, sp := range specs {
-		if sp.KeepTrialValues {
-			// Retained per-trial values never serialize (they exist for
-			// in-process Finalize consumers), so over the wire the knob
-			// could only burn a cache bypass without ever being observable.
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("spec %s: keep_trial_values is not observable over the wire; drop it", sp.ID))
-			return
-		}
-	}
-	resolved, err := spec.ResolveAll(specs)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.mu.Lock()
-	summaries := make([]jobSummary, 0, len(resolved))
-	var fresh []*job
-	for _, rj := range resolved {
-		id := rj.Spec.Hash()
-		j, ok := s.jobs[id]
-		if ok && j.skipped {
-			ok = false // replace the skipped record with a fresh attempt
-			s.dropFinishedLocked(id)
-		}
-		if !ok {
-			// A batch listing one spec twice takes this branch once: the
-			// first occurrence inserts the job the second one finds.
-			j = &job{
-				id:       id,
-				resolved: rj,
-				status:   "running",
-				trials:   rj.Trials,
-				done:     make(chan struct{}),
-				subs:     make(map[chan [2]int]struct{}),
-			}
-			s.jobs[id] = j
-			fresh = append(fresh, j)
-		}
-		summaries = append(summaries, j.summaryLocked(false))
-	}
-	s.mu.Unlock()
-	if len(fresh) > 0 {
-		jobs := make([]spec.Resolved, len(fresh))
-		for i, j := range fresh {
-			jobs[i] = j.resolved
-		}
-		// Unordered: each job answers its pollers and event streams the
-		// moment it finishes, instead of waiting on batch siblings.
-		go run.ExecuteAllUnordered(s.sess, jobs, s.finish)
-	}
-	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": summaries})
-}
-
-// dropFinishedLocked removes a job id from the eviction queue; called when
-// a skipped record is replaced, so its stale queue entry cannot evict the
-// retry's record ahead of time. The caller holds s.mu.
-func (s *server) dropFinishedLocked(id string) {
-	for i, f := range s.finished {
-		if f == id {
-			s.finished = append(s.finished[:i], s.finished[i+1:]...)
-			return
-		}
-	}
-}
-
-// finish records a suite outcome on its job, wakes every waiter, and evicts
-// the oldest finished jobs beyond the table bound.
-func (s *server) finish(o run.Outcome) {
-	id := o.Spec.Hash()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		return
-	}
-	j.info = o.Info
-	if o.Err != nil {
-		j.status = "failed"
-		j.errMsg = o.Err.Error()
-		j.skipped = errors.Is(o.Err, run.ErrSkipped)
-	} else {
-		j.status = "done"
-		j.result = o.Result
-		j.progress = o.Info.Trials
-	}
-	close(j.done)
-	s.finished = append(s.finished, id)
-	for len(s.finished) > maxFinishedJobs {
-		victim := s.finished[0]
-		s.finished = s.finished[1:]
-		// Only evict the record this completion refers to: the id may have
-		// been re-registered (skipped retry) and be running again.
-		if v, ok := s.jobs[victim]; ok && v.status != "running" {
-			delete(s.jobs, victim)
-		}
-	}
-}
-
-// onProgress is the session hook: route trial counters to the job's record
-// and its event subscribers. Slow subscribers drop intermediate events —
-// each event carries the absolute counter, so the next one catches them up.
-func (s *server) onProgress(id string, done, total int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		return
-	}
-	j.progress = done
-	for ch := range j.subs {
-		select {
-		case ch <- [2]int{done, total}:
-		default:
-		}
-	}
-}
-
-func (s *server) job(id string) *job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.jobs[id]
-}
-
-func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	j, ok := s.jobs[r.PathValue("id")]
-	var v jobSummary
-	if ok {
-		v = j.summaryLocked(true)
-	}
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such job"))
-		return
-	}
-	writeJSON(w, http.StatusOK, v)
-}
-
-// event is one NDJSON line of a job's progress stream. The terminal line
-// carries the final status instead of a counter delta.
-type event struct {
-	ID     string `json:"id"`
-	Done   int    `json:"done"`
-	Total  int    `json:"total"`
-	Status string `json:"status,omitempty"`
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
-}
-
-// handleEvents streams trial-progress counters for one job as
-// newline-delimited JSON until the job finishes (one snapshot line is
-// always emitted first, so subscribing to a finished job still yields its
-// final state plus the terminal line).
-func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j := s.job(r.PathValue("id"))
-	if j == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such job"))
-		return
-	}
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
-		return
-	}
-	ch := make(chan [2]int, 64)
-	s.mu.Lock()
-	j.subs[ch] = struct{}{}
-	snapshot := event{ID: j.id, Done: j.progress, Total: j.trials}
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(j.subs, ch)
-		s.mu.Unlock()
-	}()
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	emit := func(e event) bool {
-		if err := enc.Encode(e); err != nil {
-			return false
-		}
-		fl.Flush()
-		return true
-	}
-	if !emit(snapshot) {
-		return
-	}
-	for {
-		select {
-		case p := <-ch:
-			if !emit(event{ID: j.id, Done: p[0], Total: p[1]}) {
-				return
-			}
-		case <-j.done:
-			s.mu.Lock()
-			final := event{ID: j.id, Done: j.progress, Total: j.trials,
-				Status: j.status, Cached: j.info.Cached, Error: j.errMsg}
-			s.mu.Unlock()
-			emit(final)
-			return
-		case <-s.stop:
-			return
-		case <-r.Context().Done():
-			return
-		}
-	}
-}
-
-// handleCache serves a raw result-cache entry by its content address — the
-// self-describing {key, value} JSON document the cache stores on disk.
-func (s *server) handleCache(w http.ResponseWriter, r *http.Request) {
-	b, ok, err := s.sess.CacheEntry(r.PathValue("key"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no such cache entry (or caching is disabled)"))
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(b)
 }

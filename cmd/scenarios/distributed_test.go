@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilientloc/internal/engine"
+	enginerun "resilientloc/internal/engine/run"
+	"resilientloc/internal/locsrv"
+)
+
+// distWorkers stands up two real locd services for the -workers flag.
+func distWorkers(t *testing.T) string {
+	t.Helper()
+	var urls []string
+	for i := 0; i < 2; i++ {
+		srv, err := locsrv.New(enginerun.Options{CacheDir: filepath.Join(t.TempDir(), "cache")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { srv.Close(); hs.Close() })
+		urls = append(urls, hs.URL)
+	}
+	return strings.Join(urls, ",")
+}
+
+// TestWorkersFlagMatchesLocalRun: -workers routes the same specs through
+// the distributed coordinator and produces the same aggregates as the local
+// path (execution metadata aside).
+func TestWorkersFlagMatchesLocalRun(t *testing.T) {
+	args := []string{"-run", "multilat-town", "-trials", "6", "-seed", "3", "-json", "-no-cache"}
+	var local bytes.Buffer
+	if err := run(args, &local); err != nil {
+		t.Fatal(err)
+	}
+	var dist bytes.Buffer
+	if err := run(append(args, "-workers", distWorkers(t)), &dist); err != nil {
+		t.Fatal(err)
+	}
+	var lr, dr []*engine.Report
+	if err := json.Unmarshal(local.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(dist.Bytes(), &dr); err != nil {
+		t.Fatalf("invalid distributed JSON: %v\n%s", err, dist.String())
+	}
+	if len(lr) != 1 || len(dr) != 1 {
+		t.Fatalf("got %d local / %d distributed reports", len(lr), len(dr))
+	}
+	lr[0].ClearExecutionMeta()
+	dr[0].ClearExecutionMeta()
+	lj, _ := json.Marshal(lr[0])
+	dj, _ := json.Marshal(dr[0])
+	if string(lj) != string(dj) {
+		t.Errorf("-workers aggregates diverged\nlocal %s\ndist  %s", lj, dj)
+	}
+}
+
+// TestRangesNeedsWorkers: -ranges without -workers is an error instead of a
+// silent no-op.
+func TestRangesNeedsWorkers(t *testing.T) {
+	if err := run([]string{"-run", "multilat-town", "-ranges", "2"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-workers") {
+		t.Errorf("err %v, want -ranges/-workers coupling error", err)
+	}
+}

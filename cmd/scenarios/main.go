@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -37,6 +38,7 @@ import (
 	"strings"
 
 	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/coord"
 	enginerun "resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
 )
@@ -63,6 +65,9 @@ func run(args []string, out io.Writer) error {
 	runNames := fs.String("run", "", "comma-separated scenario names to run, or \"all\"")
 	suite := fs.String("suite", "", "run every scenario of the named suite")
 	specFile := fs.String("spec", "", "JSON job-spec file to execute instead of -run/-suite selection")
+	workers := fs.String("workers", "",
+		"comma-separated locd worker URLs: distribute each scenario's trials across them instead of running locally")
+	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed scenario (0 = one per worker; needs -workers)")
 	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
 	progress := fs.Bool("progress", true, "stream per-scenario trial progress to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +89,12 @@ func run(args []string, out io.Writer) error {
 	specs, err := buildSpecs(opts, *runNames, *suite, *specFile)
 	if err != nil {
 		return err
+	}
+	if *workers != "" {
+		return runDistributed(out, specs, *workers, *ranges, *asJSON, *progress)
+	}
+	if *ranges != 0 {
+		return fmt.Errorf("-ranges needs -workers")
 	}
 	jobs, err := spec.ResolveAll(specs)
 	if err != nil {
@@ -114,6 +125,38 @@ func run(args []string, out io.Writer) error {
 		return firstErr
 	}
 	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	return nil
+}
+
+// runDistributed executes each scenario spec across the locd worker fleet
+// via the trial-range coordinator. Aggregates are byte-identical to the
+// local path; the report's execution metadata describes the coordinated run
+// (distinct workers used, coordination wall time).
+func runDistributed(out io.Writer, specs []spec.JobSpec, workers string, ranges int, asJSON, progress bool) error {
+	urls := coord.ParseWorkers(workers)
+	var reports []*engine.Report
+	for _, sp := range specs {
+		opts := coord.Options{Workers: urls, Ranges: ranges, Warnings: os.Stderr}
+		if progress && !asJSON {
+			opts.OnProgress = coord.MilestoneProgress(os.Stderr, sp.ID)
+		}
+		val, _, err := coord.Execute(context.Background(), sp, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sp.ID, err)
+		}
+		if val.Report == nil {
+			return fmt.Errorf("%s: coordinator returned no report", sp.ID)
+		}
+		reports = append(reports, val.Report)
+		if !asJSON {
+			printReport(out, val.Report, false)
+		}
+	}
+	if asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(reports)
@@ -185,17 +228,6 @@ func printReport(out io.Writer, rep *engine.Report, cached bool) {
 	if cached {
 		how = "cached"
 	}
-	fmt.Fprintf(out, "== %s: %d trials, seed %d, %s ==\n",
-		rep.Scenario, rep.Trials, rep.Seed, how)
-	fmt.Fprintf(out, "  %-22s %7s %10s %10s %10s %10s %10s\n",
-		"metric", "count", "mean", "std", "p50", "p90", "max")
-	for _, m := range rep.Metrics {
-		fmt.Fprintf(out, "  %-22s %7d %10.4f %10.4f %10.4f %10.4f %10.4f\n",
-			m.Name, m.Count, m.Mean, m.StdDev, m.P50, m.P90, m.Max)
-	}
-	for _, s := range rep.Series {
-		fmt.Fprintf(out, "  series %s: %d points (pointwise mean over %d trials)\n",
-			s.Name, len(s.Mean), s.Trials)
-	}
+	rep.WriteSummary(out, how)
 	fmt.Fprintln(out)
 }

@@ -36,6 +36,21 @@ type Key struct {
 	Trials      int    `json:"trials"`
 	ShardSize   int    `json:"shard_size"`
 	Fingerprint string `json:"fingerprint"`
+
+	// RangeLo/RangeHi identify a partial execution over the trial sub-range
+	// [RangeLo, RangeHi) of the full Trials. Both zero (the encoding omits
+	// them, keeping full-run key hashes stable) means the full run. This is
+	// the sharding coordinator's coordination record: each distributed
+	// sub-range is cached — and deduplicated — under its own content
+	// address, while Trials still names the full job the range belongs to.
+	RangeLo int `json:"range_lo,omitempty"`
+	RangeHi int `json:"range_hi,omitempty"`
+	// Retained marks a partial execution that carries per-trial values for
+	// the campaign's Finalize step (engine.Partial.Retained). It is a key
+	// ingredient because retained and unretained partials of one range
+	// store different aggregates; full runs never cache retained values,
+	// so the flag stays false (omitted) for them.
+	Retained bool `json:"retained,omitempty"`
 }
 
 // Hash returns the key's content address: the hex SHA-256 of its canonical

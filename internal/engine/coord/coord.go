@@ -1,0 +1,724 @@
+// Package coord is the distributed trial-range coordinator: it splits one
+// declarative job (spec.JobSpec) into contiguous trial_range sub-jobs, fans
+// them out to a fleet of locd workers over the service's own wire API
+// (POST /v1/jobs + NDJSON event streams), retries failed or stalled ranges
+// on surviving workers, and merges the returned partial aggregates
+// (engine.Partial) into the job's full result — byte-identical to a
+// single-process run, for any partition of the trial space and any worker
+// topology.
+//
+// Determinism rests on the engine's partial-execution contract
+// (engine.MergePartials): each sub-range's aggregate restores or replays
+// the exact shard states the full run computes, so the coordinator only
+// has to guarantee coverage — every range completed exactly once in the
+// merge set. Each sub-job is content-addressed (the spec hash is the job
+// ID, and the range-extended cache key is the on-disk coordination
+// record), which makes duplicate completions harmless: a range retried or
+// hedged onto a second worker yields the same job ID and the same bytes,
+// and the coordinator keeps whichever copy arrives first.
+package coord
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/spec"
+)
+
+// DefaultStallTimeout is how long a range may go without any event-stream
+// activity before the coordinator hedges it onto another worker. Progress
+// events arrive per completed shard, so this must comfortably exceed one
+// shard's compute time.
+const DefaultStallTimeout = 5 * time.Minute
+
+// Options configures a coordinated execution.
+type Options struct {
+	// Workers are the locd base URLs (e.g. "http://127.0.0.1:8090") the
+	// trial ranges are distributed across. At least one is required.
+	Workers []string
+	// Ranges is how many contiguous sub-ranges to split the trial space
+	// into; 0 means one per worker. It is clamped to the trial count. With
+	// a single range the job is submitted whole (no trial_range), so even
+	// single-trial campaigns coordinate.
+	Ranges int
+	// Client is the HTTP client; nil means http.DefaultClient. Do not set
+	// a global Client.Timeout — event streams live as long as their jobs;
+	// stall detection is the liveness bound.
+	Client *http.Client
+	// StallTimeout is the per-attempt event-stream liveness bound: a range
+	// whose stream delivers nothing for this long is hedged onto another
+	// worker (the stalled attempt keeps running and may still win).
+	// 0 means DefaultStallTimeout; negative disables stall detection.
+	StallTimeout time.Duration
+	// MaxAttempts caps submissions per range (initial + retries + hedges).
+	// 0 means 2×len(Workers), minimum 4.
+	MaxAttempts int
+	// OnProgress, when non-nil, receives the aggregate trials-completed
+	// counter across all ranges. Calls are serialized; done is
+	// non-decreasing.
+	OnProgress func(done, total int)
+	// Warnings receives retry/hedge diagnostics; nil means os.Stderr.
+	Warnings io.Writer
+}
+
+// Stats summarizes one coordinated execution.
+type Stats struct {
+	// Trials is the job's full trial count.
+	Trials int
+	// Ranges is how many sub-ranges the job was split into.
+	Ranges int
+	// Retries counts extra submissions beyond one per range (failures
+	// retried plus stalls hedged).
+	Retries int
+	// Workers is how many distinct workers completed at least one range.
+	Workers int
+}
+
+// Execute runs one job across the worker fleet and returns its full result
+// — exactly what a local run.ExecuteSpec of the same spec returns, with
+// execution metadata describing the coordinated run (workers = distinct
+// workers used, elapsed = coordination wall time).
+func Execute(ctx context.Context, sp spec.JobSpec, opts Options) (*spec.Value, Stats, error) {
+	start := time.Now()
+	if sp.TrialRange != nil {
+		return nil, Stats{}, fmt.Errorf("coord: spec %s already carries a trial range; the coordinator owns the split", sp.ID)
+	}
+	job, err := spec.Resolve(sp)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	c, err := newCoordinator(job, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	val, err := c.run(ctx)
+	if err != nil {
+		return nil, c.stats(), err
+	}
+	val.ClearExecutionMeta()
+	st := c.stats()
+	val.SetExecutionMeta(st.Workers, time.Since(start).Seconds())
+	return val, st, nil
+}
+
+// ParseWorkers splits a comma-separated -workers flag value into base
+// URLs, dropping empty entries — the one parser every coordinator
+// front-end shares.
+func ParseWorkers(v string) []string {
+	var out []string
+	for _, w := range strings.Split(v, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// MilestoneProgress returns an OnProgress callback printing
+// newline-delimited quarter-milestone lines ("id: done/total trials") to w
+// — the non-TTY convention of the local runner, shared by the coordinator
+// CLIs.
+func MilestoneProgress(w io.Writer, id string) func(done, total int) {
+	lastQuarter := -1
+	return func(done, total int) {
+		if total <= 0 {
+			return
+		}
+		if q := 4 * done / total; q > lastQuarter {
+			lastQuarter = q
+			fmt.Fprintf(w, "%s: %d/%d trials\n", id, done, total)
+		}
+	}
+}
+
+// SplitRanges cuts [0, trials) into k contiguous, non-empty, near-equal
+// ranges (k is clamped to trials; the first trials%k ranges get the extra
+// trial).
+func SplitRanges(trials, k int) []spec.Range {
+	if k > trials {
+		k = trials
+	}
+	if k < 1 {
+		k = 1
+	}
+	base, rem := trials/k, trials%k
+	out := make([]spec.Range, k)
+	lo := 0
+	for i := range out {
+		n := base
+		if i < rem {
+			n++
+		}
+		out[i] = spec.Range{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return out
+}
+
+type coordinator struct {
+	job     spec.Resolved
+	workers []string
+	ranges  []spec.Range
+	client  *http.Client
+	stall   time.Duration
+	maxTry  int
+	onProg  func(done, total int)
+	warn    io.Writer
+
+	mu          sync.Mutex
+	rangeDone   []int
+	parts       []*spec.Value
+	retries     int
+	workersUsed map[string]bool
+}
+
+func newCoordinator(job spec.Resolved, opts Options) (*coordinator, error) {
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("coord: no workers configured")
+	}
+	workers := make([]string, len(opts.Workers))
+	for i, w := range opts.Workers {
+		w = strings.TrimRight(strings.TrimSpace(w), "/")
+		if w == "" {
+			return nil, fmt.Errorf("coord: empty worker URL")
+		}
+		workers[i] = w
+	}
+	if opts.Ranges < 0 {
+		return nil, fmt.Errorf("coord: negative range count %d", opts.Ranges)
+	}
+	k := opts.Ranges
+	if k == 0 {
+		k = len(workers)
+	}
+	stall := opts.StallTimeout
+	switch {
+	case stall == 0:
+		stall = DefaultStallTimeout
+	case stall < 0:
+		stall = 0 // disabled
+	}
+	maxTry := opts.MaxAttempts
+	if maxTry <= 0 {
+		maxTry = 2 * len(workers)
+		if maxTry < 4 {
+			maxTry = 4
+		}
+	}
+	warn := opts.Warnings
+	if warn == nil {
+		warn = os.Stderr
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	ranges := SplitRanges(job.Trials, k)
+	return &coordinator{
+		job:         job,
+		workers:     workers,
+		ranges:      ranges,
+		client:      client,
+		stall:       stall,
+		maxTry:      maxTry,
+		onProg:      opts.OnProgress,
+		warn:        warn,
+		rangeDone:   make([]int, len(ranges)),
+		parts:       make([]*spec.Value, len(ranges)),
+		workersUsed: make(map[string]bool),
+	}, nil
+}
+
+func (c *coordinator) stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Trials:  c.job.TotalTrials,
+		Ranges:  len(c.ranges),
+		Retries: c.retries,
+		Workers: len(c.workersUsed),
+	}
+}
+
+// subSpec builds the content-addressed sub-job for one range. With a single
+// range the original spec is submitted whole, so the worker finalizes the
+// result itself (this is also what makes single-trial campaigns — which
+// cannot run partially — coordinate).
+func (c *coordinator) subSpec(i int) spec.JobSpec {
+	sub := c.job.Spec
+	if len(c.ranges) == 1 {
+		return sub
+	}
+	rg := c.ranges[i]
+	sub.TrialRange = &spec.Range{Lo: rg.Lo, Hi: rg.Hi}
+	return sub
+}
+
+// run executes every range and merges the results. The first range to fail
+// cancels its siblings: a range failure is fatal to the whole job, so
+// letting long sibling ranges run to completion would only delay the
+// inevitable error.
+func (c *coordinator) run(ctx context.Context) (*spec.Value, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for i := range c.ranges {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.runRange(ctx, i); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(c.ranges) == 1 {
+		return c.parts[0], nil
+	}
+	partials := make([]*engine.Partial, len(c.parts))
+	for i, v := range c.parts {
+		partials[i] = v.Partial
+	}
+	rep, err := engine.MergePartials(partials)
+	if err != nil {
+		return nil, fmt.Errorf("coord: %s: %w", c.job.Spec.ID, err)
+	}
+	val, err := engine.FinalizeCampaign(c.job.Campaign, rep)
+	if err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+// complete records a range result; the first completion wins (a hedged
+// duplicate delivers identical bytes and is dropped).
+func (c *coordinator) complete(i int, val *spec.Value, worker string) {
+	rg := c.ranges[i]
+	c.mu.Lock()
+	if c.parts[i] == nil {
+		c.parts[i] = val
+		c.workersUsed[worker] = true
+		c.rangeDone[i] = rg.Hi - rg.Lo
+		if c.onProg != nil {
+			done := 0
+			for _, d := range c.rangeDone {
+				done += d
+			}
+			c.onProg(done, c.job.TotalTrials)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// progress records a range's trial counter from its event stream.
+func (c *coordinator) progress(i, done int) {
+	c.mu.Lock()
+	if c.parts[i] == nil && done > c.rangeDone[i] {
+		c.rangeDone[i] = done
+		if c.onProg != nil {
+			sum := 0
+			for _, d := range c.rangeDone {
+				sum += d
+			}
+			c.onProg(sum, c.job.TotalTrials)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// runRange drives one range to completion: submit to a worker, watch its
+// event stream, and on failure retry — or on stall hedge, leaving the slow
+// attempt racing — on the least-tried surviving worker, up to the attempt
+// budget.
+func (c *coordinator) runRange(ctx context.Context, i int) error {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sub := c.subSpec(i)
+	rg := c.ranges[i]
+
+	type result struct {
+		val    *spec.Value
+		err    error
+		worker string
+	}
+	results := make(chan result)
+	stalls := make(chan string)
+	tried := make(map[string]int, len(c.workers))
+	attempts, pending := 0, 0
+
+	launch := func() {
+		worker := c.pickWorker(i, attempts, tried)
+		attempts++
+		tried[worker]++
+		pending++
+		go func() {
+			val, err := c.runAttempt(rctx, worker, sub, i, stalls)
+			select {
+			case results <- result{val, err, worker}:
+			case <-rctx.Done():
+			}
+		}()
+	}
+	launch()
+
+	var lastErr error
+	for {
+		var timeout <-chan time.Time
+		if attempts >= c.maxTry && pending > 0 && c.stall > 0 {
+			// Out of attempts: give the in-flight stragglers one more stall
+			// window, then give up on the range.
+			t := time.NewTimer(c.stall)
+			defer t.Stop()
+			timeout = t.C
+		}
+		if pending == 0 {
+			return fmt.Errorf("coord: %s range [%d, %d): all %d attempts failed: %w",
+				c.job.Spec.ID, rg.Lo, rg.Hi, attempts, lastErr)
+		}
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil {
+				c.complete(i, r.val, r.worker)
+				return nil
+			}
+			if errors.Is(r.err, errPermanent) {
+				// The sub-job itself failed. Its result is a deterministic
+				// function of the spec, so every other worker would compute
+				// the same failure — retrying only multiplies the waste.
+				return fmt.Errorf("coord: %s range [%d, %d): %w", c.job.Spec.ID, rg.Lo, rg.Hi, r.err)
+			}
+			lastErr = r.err
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+			if attempts < c.maxTry {
+				fmt.Fprintf(c.warn, "coord: %s range [%d, %d): worker %s failed (%v); retrying\n",
+					c.job.Spec.ID, rg.Lo, rg.Hi, r.worker, r.err)
+				launch()
+			} else if pending == 0 {
+				return fmt.Errorf("coord: %s range [%d, %d): all %d attempts failed: %w",
+					c.job.Spec.ID, rg.Lo, rg.Hi, attempts, lastErr)
+			}
+		case w := <-stalls:
+			if attempts < c.maxTry {
+				c.mu.Lock()
+				c.retries++
+				c.mu.Unlock()
+				fmt.Fprintf(c.warn, "coord: %s range [%d, %d): worker %s stalled; hedging on another worker\n",
+					c.job.Spec.ID, rg.Lo, rg.Hi, w)
+				launch()
+			}
+		case <-timeout:
+			return fmt.Errorf("coord: %s range [%d, %d): gave up after %d attempts: %w",
+				c.job.Spec.ID, rg.Lo, rg.Hi, attempts, orStalled(lastErr))
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func orStalled(err error) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("every attempt stalled")
+}
+
+// pickWorker spreads attempts: least-tried first, rotated by range index so
+// the initial assignment round-robins the fleet.
+func (c *coordinator) pickWorker(rangeIdx, attempt int, tried map[string]int) string {
+	best := ""
+	bestTries := 0
+	for off := 0; off < len(c.workers); off++ {
+		w := c.workers[(rangeIdx+attempt+off)%len(c.workers)]
+		if best == "" || tried[w] < bestTries {
+			best, bestTries = w, tried[w]
+		}
+	}
+	return best
+}
+
+// errPermanent marks a terminal job failure reported by a worker: the
+// sub-job's outcome is a deterministic function of its spec, so the same
+// failure would reproduce on every worker and the range must not retry.
+// Transport, HTTP, and stall failures stay retryable.
+var errPermanent = errors.New("deterministic job failure")
+
+// Wire shapes of the locd API (the subset the coordinator consumes).
+type wireJob struct {
+	ID         string      `json:"id"`
+	Status     string      `json:"status"`
+	Trials     int         `json:"trials"`
+	DoneTrials int         `json:"done_trials"`
+	Error      string      `json:"error"`
+	Skipped    bool        `json:"skipped"`
+	Result     *spec.Value `json:"result"`
+}
+
+type wireEvent struct {
+	ID      string `json:"id"`
+	Done    int    `json:"done"`
+	Total   int    `json:"total"`
+	Status  string `json:"status"`
+	Error   string `json:"error"`
+	Skipped bool   `json:"skipped"`
+}
+
+// runAttempt submits the sub-job to one worker and follows it to a result.
+// Any transport error, HTTP error, or job failure is returned for the
+// controller to retry elsewhere; a stall is signaled on stalls while the
+// attempt keeps waiting (hedging).
+func (c *coordinator) runAttempt(ctx context.Context, worker string, sub spec.JobSpec, rangeIdx int, stalls chan<- string) (*spec.Value, error) {
+	js, err := c.submit(ctx, worker, sub)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch js.Status {
+		case "done":
+			return c.takeResult(ctx, worker, js)
+		case "failed":
+			if js.Skipped {
+				// A batch sibling's failure; resubmission retries it fresh.
+				if js, err = c.submit(ctx, worker, sub); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("%w on %s: %s", errPermanent, worker, js.Error)
+		}
+		ev, err := c.watchEvents(ctx, worker, js.ID, rangeIdx, stalls)
+		if err != nil {
+			// Stream broke without a terminal line: poll once to tell a
+			// finished job from a dead worker before giving the attempt up.
+			polled, perr := c.getJob(ctx, worker, js.ID)
+			if perr != nil {
+				return nil, fmt.Errorf("%v (poll: %v)", err, perr)
+			}
+			if polled.Status == "running" {
+				return nil, err
+			}
+			js = polled
+			continue
+		}
+		switch ev.Status {
+		case "done":
+			full, err := c.getJob(ctx, worker, js.ID)
+			if err != nil {
+				return nil, err
+			}
+			return c.takeResult(ctx, worker, full)
+		case "failed":
+			if ev.Skipped {
+				if js, err = c.submit(ctx, worker, sub); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("%w on %s: %s", errPermanent, worker, ev.Error)
+		default:
+			return nil, fmt.Errorf("worker %s: unexpected terminal event status %q", worker, ev.Status)
+		}
+	}
+}
+
+// takeResult validates the finished job's result shape for this execution
+// (a partial for range sub-jobs, a finalized value otherwise).
+func (c *coordinator) takeResult(ctx context.Context, worker string, js *wireJob) (*spec.Value, error) {
+	if js.Result == nil {
+		// A done job answered without its result (e.g. submit-time summary);
+		// fetch the full record.
+		full, err := c.getJob(ctx, worker, js.ID)
+		if err != nil {
+			return nil, err
+		}
+		js = full
+		if js.Result == nil {
+			return nil, fmt.Errorf("worker %s: done job %s carries no result", worker, js.ID)
+		}
+	}
+	if len(c.ranges) > 1 && js.Result.Partial == nil {
+		return nil, fmt.Errorf("worker %s: range sub-job %s returned no partial aggregate", worker, js.ID)
+	}
+	return js.Result, nil
+}
+
+// submit POSTs the sub-job and returns its (possibly already finished)
+// summary. The submit round-trip gets a bounded context: a worker that
+// accepts connections but never answers must not hold the attempt forever.
+func (c *coordinator) submit(ctx context.Context, worker string, sub spec.JobSpec) (*wireJob, error) {
+	tctx := ctx
+	if c.stall > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, c.stall)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, worker+"/v1/jobs", bytes.NewReader(sub.Canonical()))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("submit to %s: %w", worker, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("submit to %s: status %d: %s", worker, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Jobs []*wireJob `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || len(out.Jobs) != 1 {
+		return nil, fmt.Errorf("submit to %s: malformed response (%v)", worker, err)
+	}
+	return out.Jobs[0], nil
+}
+
+// getJob fetches one job's full record (including its result when done).
+func (c *coordinator) getJob(ctx context.Context, worker, id string) (*wireJob, error) {
+	tctx := ctx
+	if c.stall > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, c.stall)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, worker+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("poll %s: %w", worker, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("poll %s: status %d", worker, resp.StatusCode)
+	}
+	var js wireJob
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		return nil, fmt.Errorf("poll %s: %w", worker, err)
+	}
+	return &js, nil
+}
+
+// watchEvents follows the job's NDJSON stream until a terminal status line,
+// feeding progress counters to the coordinator. Silence beyond the stall
+// timeout signals stalls once (the stream stays open — the attempt may
+// still win the hedge race). A stream that ends without a terminal line is
+// an error (disconnect).
+func (c *coordinator) watchEvents(ctx context.Context, worker, id string, rangeIdx int, stalls chan<- string) (*wireEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+
+	type line struct {
+		ev  wireEvent
+		err error
+	}
+	lines := make(chan line)
+	// The HTTP round-trip runs inside the watched goroutine too: a worker
+	// that hangs or drags the request itself (before any stream bytes) must
+	// trip the stall detector exactly like mid-stream silence.
+	go func() {
+		send := func(l line) bool {
+			select {
+			case lines <- l:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			send(line{err: fmt.Errorf("events %s: %w", worker, err)})
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			send(line{err: fmt.Errorf("events %s: status %d", worker, resp.StatusCode)})
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			var ev wireEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				send(line{err: fmt.Errorf("events %s: bad line: %w", worker, err)})
+				return
+			}
+			if !send(line{ev: ev}) {
+				return
+			}
+		}
+		err = sc.Err()
+		if err == nil {
+			err = fmt.Errorf("events %s: stream ended without a terminal status", worker)
+		}
+		send(line{err: err})
+	}()
+
+	var stallC <-chan time.Time
+	var stallTimer *time.Timer
+	if c.stall > 0 {
+		stallTimer = time.NewTimer(c.stall)
+		defer stallTimer.Stop()
+		stallC = stallTimer.C
+	}
+	stalled := false
+	for {
+		select {
+		case l := <-lines:
+			if l.err != nil {
+				return nil, l.err
+			}
+			if stallTimer != nil && !stalled {
+				if !stallTimer.Stop() {
+					<-stallTimer.C
+				}
+				stallTimer.Reset(c.stall)
+			}
+			if l.ev.Status != "" {
+				return &l.ev, nil
+			}
+			c.progress(rangeIdx, l.ev.Done)
+		case <-stallC:
+			// Signal once; keep following the stream in case it recovers or
+			// simply finishes slowly.
+			stalled = true
+			select {
+			case stalls <- worker:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

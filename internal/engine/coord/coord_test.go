@@ -1,0 +1,380 @@
+package coord_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resilientloc/internal/engine/coord"
+	"resilientloc/internal/engine/run"
+	"resilientloc/internal/engine/spec"
+	"resilientloc/internal/locsrv"
+)
+
+// newWorker stands up a real locd service (internal/locsrv) and returns its
+// base URL.
+func newWorker(t *testing.T, opts run.Options) string {
+	t.Helper()
+	if opts.CacheDir == "" && !opts.NoCache {
+		opts.CacheDir = filepath.Join(t.TempDir(), "cache")
+	}
+	srv, err := locsrv.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { srv.Close(); hs.Close() })
+	return hs.URL
+}
+
+// localValue executes the spec in-process — the reference the coordinated
+// result must reproduce byte-for-byte (modulo execution metadata).
+func localValue(t *testing.T, sp spec.JobSpec) *spec.Value {
+	t.Helper()
+	sess, err := run.NewSession(run.Options{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _, err := run.ExecuteSpec(sess, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return val
+}
+
+// normalized strips execution metadata and renders the value as JSON.
+func normalized(t *testing.T, v *spec.Value) string {
+	t.Helper()
+	c := *v
+	c.ClearExecutionMeta()
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCoordinatedMatchesGoldenCorpus is the acceptance check: a multi-trial
+// figure job coordinated across two real locd workers renders
+// byte-identically to the golden corpus at seeds 1 and 5, for several
+// partitions of its trial space; a library scenario reproduces the local
+// run the same way.
+func TestCoordinatedMatchesGoldenCorpus(t *testing.T) {
+	workers := []string{newWorker(t, run.Options{}), newWorker(t, run.Options{})}
+	goldenDir := filepath.Join("..", "..", "experiments", "testdata", "golden")
+
+	for _, seed := range []int64{1, 5} {
+		sp := spec.JobSpec{Kind: spec.KindFigure, ID: "maxrange", Seed: seed}
+		want, err := os.ReadFile(filepath.Join(goldenDir, fmt.Sprintf("maxrange_seed%d.golden", seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ranges := range []int{2, 5} {
+			val, st, err := coord.Execute(context.Background(), sp,
+				coord.Options{Workers: workers, Ranges: ranges, Warnings: io.Discard})
+			if err != nil {
+				t.Fatalf("maxrange seed %d ranges %d: %v", seed, ranges, err)
+			}
+			if val.Figure == nil {
+				t.Fatalf("maxrange seed %d: no figure in %+v", seed, val)
+			}
+			if got := val.Figure.Render(); got != string(want) {
+				t.Errorf("maxrange seed %d over %d ranges diverged from golden output\n--- got ---\n%s--- want ---\n%s",
+					seed, ranges, got, want)
+			}
+			if st.Ranges != ranges || st.Trials != 36 {
+				t.Errorf("stats %+v, want %d ranges over 36 trials", st, ranges)
+			}
+		}
+	}
+
+	// A scenario job: coordinated result equals the local run.
+	sp := spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 1, Trials: 8, ShardSize: 2}
+	want := normalized(t, localValue(t, sp))
+	for _, ranges := range []int{0, 3, 8} { // 0 = one per worker
+		val, _, err := coord.Execute(context.Background(), sp,
+			coord.Options{Workers: workers, Ranges: ranges, Warnings: io.Discard})
+		if err != nil {
+			t.Fatalf("ranges %d: %v", ranges, err)
+		}
+		if got := normalized(t, val); got != want {
+			t.Errorf("ranges %d: coordinated scenario diverged\n got %s\nwant %s", ranges, got, want)
+		}
+	}
+
+	// A single-trial figure cannot split; the coordinator submits it whole.
+	single := spec.JobSpec{Kind: spec.KindFigure, ID: "fig11", Seed: 1}
+	val, st, err := coord.Execute(context.Background(), single,
+		coord.Options{Workers: workers, Warnings: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFig, err := os.ReadFile(filepath.Join(goldenDir, "fig11_seed1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.Figure == nil || val.Figure.Render() != string(wantFig) {
+		t.Error("single-trial figure over the coordinator diverged from golden output")
+	}
+	if st.Ranges != 1 {
+		t.Errorf("single-trial job split into %d ranges", st.Ranges)
+	}
+}
+
+// TestCoordinatorProgressAggregates: the aggregate progress counter reaches
+// trials and never decreases.
+func TestCoordinatorProgressAggregates(t *testing.T) {
+	workers := []string{newWorker(t, run.Options{NoCache: true})}
+	last := 0
+	prev := -1
+	monotonic := true
+	val, _, err := coord.Execute(context.Background(),
+		spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 2, Trials: 8, ShardSize: 1},
+		coord.Options{Workers: workers, Ranges: 4, Warnings: io.Discard,
+			OnProgress: func(done, total int) {
+				if done < prev || total != 8 {
+					monotonic = false
+				}
+				prev, last = done, done
+			}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.Report == nil && val.Figure == nil && val.Partial != nil {
+		t.Fatalf("coordinator leaked a partial: %+v", val)
+	}
+	if !monotonic || last != 8 {
+		t.Errorf("progress ended %d (monotonic %v), want 8", last, monotonic)
+	}
+}
+
+// erroringWorker always 500s job submissions — the "worker that 500s
+// mid-engagement" fault.
+func erroringWorker(t *testing.T) string {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"induced failure"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// hangingWorker accepts a submission, reports the job running, and then
+// never delivers another byte on the event stream.
+func hangingWorker(t *testing.T) string {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprint(w, `{"jobs":[{"id":"hang","status":"running","trials":1}]}`)
+		case strings.HasSuffix(r.URL.Path, "/events"):
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			w.(http.Flusher).Flush()
+			<-r.Context().Done() // hold the stream open forever
+		default:
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprint(w, `{"id":"hang","status":"running","trials":1}`)
+		}
+	}))
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// slowEventsProxy fronts a real worker but delays every event-stream
+// response long enough to trip the stall detector, so the hedged duplicate
+// attempt races the slow original to completion.
+func slowEventsProxy(t *testing.T, target string, delay time.Duration) string {
+	t.Helper()
+	client := &http.Client{}
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			time.Sleep(delay)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.Path, r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := client.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// TestCoordinatorRetriesFaultyWorkers: ranges assigned to a worker that
+// 500s, a worker that is simply down, or a worker that hangs mid-range are
+// reassigned to the survivors, and the merged result is still exact.
+func TestCoordinatorRetriesFaultyWorkers(t *testing.T) {
+	sp := spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 3, Trials: 6, ShardSize: 2}
+	want := normalized(t, localValue(t, sp))
+	healthy := newWorker(t, run.Options{})
+
+	// A dead worker: nothing listens on the port (the server is closed).
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	for name, faulty := range map[string]string{
+		"erroring": erroringWorker(t),
+		"dead":     deadURL,
+		"hanging":  hangingWorker(t),
+	} {
+		val, st, err := coord.Execute(context.Background(), sp, coord.Options{
+			Workers:      []string{faulty, healthy},
+			Ranges:       2,
+			StallTimeout: 200 * time.Millisecond,
+			Warnings:     io.Discard,
+		})
+		if err != nil {
+			t.Fatalf("%s worker: %v", name, err)
+		}
+		if got := normalized(t, val); got != want {
+			t.Errorf("%s worker: merged result diverged", name)
+		}
+		if st.Retries == 0 {
+			t.Errorf("%s worker: no retries recorded (stats %+v)", name, st)
+		}
+		if st.Workers != 1 {
+			t.Errorf("%s worker: %d workers completed ranges, want only the healthy one", name, st.Workers)
+		}
+	}
+}
+
+// TestCoordinatorAllWorkersDown: with no survivors the execution fails with
+// the range's error instead of hanging.
+func TestCoordinatorAllWorkersDown(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	_, _, err := coord.Execute(context.Background(),
+		spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 1, Trials: 4},
+		coord.Options{Workers: []string{deadURL}, MaxAttempts: 2,
+			StallTimeout: 100 * time.Millisecond, Warnings: io.Discard})
+	if err == nil || !strings.Contains(err.Error(), "attempts failed") {
+		t.Errorf("err %v, want an all-attempts-failed error", err)
+	}
+}
+
+// TestCoordinatorDedupesDuplicateCompletions: a slow worker trips the stall
+// detector, the range is hedged onto a fast worker, and both eventually
+// complete the same content-addressed sub-job. Exactly one copy enters the
+// merge (first wins) — a double-counted range would fail the merge's
+// tiling validation or corrupt the aggregate, so byte-identity to the
+// local run proves the dedupe.
+func TestCoordinatorDedupesDuplicateCompletions(t *testing.T) {
+	sp := spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 4, Trials: 6, ShardSize: 3}
+	want := normalized(t, localValue(t, sp))
+	// Both fronts share one backing worker — and thus one result cache and
+	// job table — so the hedged duplicate resolves to the same
+	// content-addressed job on the backend.
+	backend := newWorker(t, run.Options{})
+	slow := slowEventsProxy(t, backend, 400*time.Millisecond)
+
+	val, st, err := coord.Execute(context.Background(), sp, coord.Options{
+		Workers:      []string{slow, backend},
+		Ranges:       2,
+		StallTimeout: 100 * time.Millisecond,
+		Warnings:     io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := normalized(t, val); got != want {
+		t.Errorf("deduped result diverged\n got %s\nwant %s", got, want)
+	}
+	if st.Retries == 0 {
+		t.Errorf("no hedge recorded: %+v", st)
+	}
+}
+
+// TestCoordinatorPermanentFailureDoesNotRetry: a worker reporting a
+// terminal job failure (not a transport error, not a skipped sibling) ends
+// the range immediately — the sub-job is deterministic, so every other
+// worker would compute the same failure.
+func TestCoordinatorPermanentFailureDoesNotRetry(t *testing.T) {
+	var submits int32
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			atomic.AddInt32(&submits, 1)
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprint(w, `{"jobs":[{"id":"x","status":"failed","error":"trial 3: boom"}]}`)
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	t.Cleanup(failing.Close)
+
+	_, st, err := coord.Execute(context.Background(),
+		spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 1, Trials: 4},
+		coord.Options{Workers: []string{failing.URL, failing.URL}, Ranges: 1,
+			StallTimeout: time.Second, Warnings: io.Discard})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err %v, want the job's own failure", err)
+	}
+	if got := atomic.LoadInt32(&submits); got != 1 {
+		t.Errorf("deterministic failure was submitted %d times, want exactly 1", got)
+	}
+	if st.Retries != 0 {
+		t.Errorf("deterministic failure recorded %d retries, want 0", st.Retries)
+	}
+}
+
+// TestSplitRanges: contiguous, non-empty, near-equal coverage; clamped to
+// the trial count.
+func TestSplitRanges(t *testing.T) {
+	for _, tc := range []struct {
+		trials, k int
+		want      []spec.Range
+	}{
+		{10, 3, []spec.Range{{Lo: 0, Hi: 4}, {Lo: 4, Hi: 7}, {Lo: 7, Hi: 10}}},
+		{4, 8, []spec.Range{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}, {Lo: 2, Hi: 3}, {Lo: 3, Hi: 4}}},
+		{5, 1, []spec.Range{{Lo: 0, Hi: 5}}},
+	} {
+		got := coord.SplitRanges(tc.trials, tc.k)
+		gj, _ := json.Marshal(got)
+		wj, _ := json.Marshal(tc.want)
+		if string(gj) != string(wj) {
+			t.Errorf("SplitRanges(%d, %d) = %s, want %s", tc.trials, tc.k, gj, wj)
+		}
+	}
+}
+
+// TestExecuteValidation: option errors surface before any network traffic.
+func TestExecuteValidation(t *testing.T) {
+	sp := spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 1}
+	if _, _, err := coord.Execute(context.Background(), sp, coord.Options{}); err == nil {
+		t.Error("no workers accepted")
+	}
+	ranged := sp
+	ranged.TrialRange = &spec.Range{Lo: 0, Hi: 2}
+	if _, _, err := coord.Execute(context.Background(), ranged,
+		coord.Options{Workers: []string{"http://127.0.0.1:1"}}); err == nil ||
+		!strings.Contains(err.Error(), "owns the split") {
+		t.Errorf("pre-ranged spec: err %v, want rejection", err)
+	}
+	if _, _, err := coord.Execute(context.Background(),
+		spec.JobSpec{Kind: spec.KindScenario, ID: "no-such", Seed: 1},
+		coord.Options{Workers: []string{"http://127.0.0.1:1"}}); err == nil {
+		t.Error("unknown job accepted")
+	}
+}

@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// jsonRoundTrip pushes a Partial through its wire encoding, as the
+// coordinator does between processes.
+func jsonRoundTrip(t *testing.T, p *Partial) *Partial {
+	t.Helper()
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal partial: %v", err)
+	}
+	var back Partial
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal partial: %v", err)
+	}
+	return &back
+}
+
+// randomPartition cuts [0, trials) into 1..8 contiguous ranges. Cut points
+// are drawn with replacement, so adjacent duplicates — which would create
+// empty ranges — occur and are dropped, and single-trial ranges are common.
+func randomPartition(rng *rand.Rand, trials int) [][2]int {
+	k := 1 + rng.Intn(8)
+	cuts := map[int]bool{0: true, trials: true}
+	for i := 0; i < k-1; i++ {
+		cuts[rng.Intn(trials+1)] = true
+	}
+	points := make([]int, 0, len(cuts))
+	for c := range cuts {
+		points = append(points, c)
+	}
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			if points[j] < points[i] {
+				points[i], points[j] = points[j], points[i]
+			}
+		}
+	}
+	var ranges [][2]int
+	for i := 0; i+1 < len(points); i++ {
+		if points[i] < points[i+1] {
+			ranges = append(ranges, [2]int{points[i], points[i+1]})
+		}
+	}
+	return ranges
+}
+
+// TestPartialMergeMatchesFullRun is the distribution property: for random
+// partitions of the trial space — shard-aligned or not, down to single-trial
+// ranges — running each range partially, shipping the partials over the
+// wire encoding, and merging them reproduces the full run exactly, with and
+// without per-trial retention, at several shard sizes and seeds.
+func TestPartialMergeMatchesFullRun(t *testing.T) {
+	s := noisyScenario()
+	rng := rand.New(rand.NewSource(42))
+	for _, keep := range []bool{false, true} {
+		for _, tc := range []struct {
+			trials, shardSize int
+		}{
+			{100, 8},  // default-style shards, boundaries cut shards
+			{37, 7},   // ragged tail shard
+			{10, 1},   // every range is shard-aligned
+			{20, 100}, // a single shard cut into fragments
+		} {
+			cfg := Config{Seed: 5, Trials: tc.trials, ShardSize: tc.shardSize, KeepTrialValues: keep}
+			full := mustRun(t, cfg, s)
+			fullJSON, _ := json.Marshal(comparable(full))
+			runner, err := NewRunner(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for iter := 0; iter < 12; iter++ {
+				ranges := randomPartition(rng, tc.trials)
+				parts := make([]*Partial, 0, len(ranges))
+				for _, rg := range ranges {
+					p, err := runner.RunPartial(s, rg[0], rg[1])
+					if err != nil {
+						t.Fatalf("trials=%d shard=%d keep=%v range %v: %v", tc.trials, tc.shardSize, keep, rg, err)
+					}
+					parts = append(parts, jsonRoundTrip(t, p))
+				}
+				// Merge in shuffled order: MergePartials sorts by range.
+				rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+				merged, err := MergePartials(parts)
+				if err != nil {
+					t.Fatalf("trials=%d shard=%d keep=%v ranges %v: merge: %v", tc.trials, tc.shardSize, keep, ranges, err)
+				}
+				if !sameReport(merged, full) {
+					t.Fatalf("trials=%d shard=%d keep=%v ranges %v: merged report diverged from full run",
+						tc.trials, tc.shardSize, keep, ranges)
+				}
+				mergedJSON, _ := json.Marshal(comparable(merged))
+				if string(mergedJSON) != string(fullJSON) {
+					t.Fatalf("trials=%d shard=%d keep=%v ranges %v: merged JSON diverged\n got %s\nwant %s",
+						tc.trials, tc.shardSize, keep, ranges, mergedJSON, fullJSON)
+				}
+			}
+		}
+	}
+}
+
+// TestPartialSingleRangeIsFullRun: one partial covering [0, trials) merges
+// to the full run — the degenerate one-worker deployment.
+func TestPartialSingleRangeIsFullRun(t *testing.T) {
+	s := noisyScenario()
+	cfg := Config{Seed: 1, Trials: 24, ShardSize: 5}
+	full := mustRun(t, cfg, s)
+	runner, _ := NewRunner(cfg)
+	p, err := runner.RunPartial(s, 0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergePartials([]*Partial{jsonRoundTrip(t, p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameReport(merged, full) {
+		t.Fatal("single full-range partial diverged from full run")
+	}
+}
+
+// TestPartialProgressTotals: partial-run progress counts against the range
+// size, not the full trial count, and sums to it.
+func TestPartialProgressTotals(t *testing.T) {
+	s := noisyScenario()
+	var last, total int
+	runner, _ := NewRunner(Config{Seed: 1, Trials: 40, ShardSize: 4,
+		Workers: 1, Progress: func(d, tot int) { last, total = d, tot }})
+	if _, err := runner.RunPartial(s, 10, 25); err != nil {
+		t.Fatal(err)
+	}
+	if last != 15 || total != 15 {
+		t.Errorf("progress ended %d/%d, want 15/15", last, total)
+	}
+}
+
+// TestPartialRejectsKeptOutputs: campaigns whose trials retain structured
+// outputs via T.Keep cannot run partially — on either the complete-shard or
+// the boundary-fragment path — because those outputs do not serialize.
+func TestPartialRejectsKeptOutputs(t *testing.T) {
+	s := Scenario{
+		Name:   "test-keeper",
+		Trials: 8,
+		Run: func(t *T) error {
+			t.Record("x", float64(t.Trial))
+			t.Keep(struct{ V int }{t.Trial})
+			return nil
+		},
+	}
+	runner, _ := NewRunner(Config{Seed: 1, ShardSize: 4, KeepTrialValues: true})
+	if _, err := runner.RunPartial(s, 0, 4); err == nil || !strings.Contains(err.Error(), "T.Keep") {
+		t.Errorf("complete-shard path: err %v, want T.Keep rejection", err)
+	}
+	if _, err := runner.RunPartial(s, 1, 3); err == nil || !strings.Contains(err.Error(), "T.Keep") {
+		t.Errorf("fragment path: err %v, want T.Keep rejection", err)
+	}
+}
+
+// TestRunPartialInvalidRange: out-of-bounds and empty ranges are rejected.
+func TestRunPartialInvalidRange(t *testing.T) {
+	s := noisyScenario()
+	runner, _ := NewRunner(Config{Seed: 1, Trials: 10})
+	for _, rg := range [][2]int{{-1, 5}, {5, 5}, {6, 4}, {0, 11}} {
+		if _, err := runner.RunPartial(s, rg[0], rg[1]); err == nil {
+			t.Errorf("range %v accepted", rg)
+		}
+	}
+}
+
+// TestMergePartialsValidation: gaps, overlaps, mismatched job identity, and
+// incomplete coverage are merge errors, never silently wrong aggregates.
+func TestMergePartialsValidation(t *testing.T) {
+	s := noisyScenario()
+	runner, _ := NewRunner(Config{Seed: 1, Trials: 20, ShardSize: 4})
+	part := func(lo, hi int) *Partial {
+		p, err := runner.RunPartial(s, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := MergePartials(nil); err == nil {
+		t.Error("empty partial set accepted")
+	}
+	if _, err := MergePartials([]*Partial{part(0, 10)}); err == nil {
+		t.Error("incomplete coverage accepted")
+	}
+	if _, err := MergePartials([]*Partial{part(0, 10), part(12, 20)}); err == nil {
+		t.Error("gap accepted")
+	}
+	if _, err := MergePartials([]*Partial{part(0, 12), part(10, 20)}); err == nil {
+		t.Error("overlap accepted")
+	}
+	other := part(10, 20)
+	other.Seed = 99
+	if _, err := MergePartials([]*Partial{part(0, 10), other}); err == nil {
+		t.Error("mismatched seed accepted")
+	}
+	sized := part(10, 20)
+	sized.ShardSize = 5
+	if _, err := MergePartials([]*Partial{part(0, 10), sized}); err == nil {
+		t.Error("mismatched shard size accepted")
+	}
+}
+
+// TestRunCampaignPartialAppliesOverrides: the campaign's shard pinning and
+// retention apply to partial runs exactly as they do to full ones, so the
+// partials a distributed figure job produces merge against the figure's own
+// shard geometry.
+func TestRunCampaignPartialAppliesOverrides(t *testing.T) {
+	c := Campaign[*Report]{
+		Scenario:        noisyScenario(),
+		ShardSize:       1,
+		KeepTrialValues: true,
+		Finalize:        func(rep *Report) (*Report, error) { return rep, nil },
+	}
+	runner, _ := NewRunner(Config{Seed: 3, Trials: 6, ShardSize: 99})
+	p, err := RunCampaignPartial(runner, c, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ShardSize != 1 || !p.Retained {
+		t.Fatalf("partial geometry %+v, want campaign overrides (shard 1, retained)", p)
+	}
+
+	// Full distributed cycle through the campaign: partials -> merge ->
+	// finalize equals RunCampaign.
+	full, _, err := RunCampaign(runner, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunCampaignPartial(runner, c, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaignPartial(runner, c, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MergePartials([]*Partial{jsonRoundTrip(t, a), jsonRoundTrip(t, b)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FinalizeCampaign(c, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameReport(res, full) {
+		t.Fatal("distributed campaign cycle diverged from RunCampaign")
+	}
+}

@@ -369,10 +369,27 @@ func ExecuteResolved(s *Session, job spec.Resolved) (*spec.Value, Info, error) {
 	}
 	defer s.prog.done(jobID)
 	trials, shardSize := engine.CampaignConfig(runner, c)
+	// A proper trial sub-range executes partially: the result is the
+	// range's serialized shard aggregates (spec.Value.Partial), not a
+	// finalized figure or report — finalizing needs the full merged run,
+	// which only the coordinator holds.
+	var rng *spec.Range
+	if r := job.Spec.TrialRange; r != nil && !(r.Lo == 0 && r.Hi == trials) {
+		if r.Hi > trials {
+			return nil, Info{}, fmt.Errorf("run: %s: trial range [%d, %d) exceeds the job's %d trials",
+				name, r.Lo, r.Hi, trials)
+		}
+		rng = r
+	}
+	runTrials := trials
+	if rng != nil {
+		runTrials = rng.Hi - rng.Lo
+	}
 	// Retention jobs bypass the cache entirely: per-trial values are
 	// excluded from the stored JSON, so a hit could only ever return a
-	// result stripped of exactly what the spec asked for.
-	cacheable := s.cache != nil && !job.Spec.KeepTrialValues
+	// result stripped of exactly what the spec asked for. Partial jobs are
+	// exempt — an engine.Partial serializes its retained values.
+	cacheable := s.cache != nil && (!job.Spec.KeepTrialValues || rng != nil)
 	var key cache.Key
 	var keyHash string
 	if cacheable {
@@ -386,6 +403,14 @@ func ExecuteResolved(s *Session, job spec.Resolved) (*spec.Value, Info, error) {
 			ShardSize:   shardSize,
 			Fingerprint: cache.Fingerprint(),
 		}
+		if rng != nil {
+			key.RangeLo, key.RangeHi = rng.Lo, rng.Hi
+			// Retained and unretained partials of one range store different
+			// aggregates, so retention keys separately (the campaign's
+			// effective retention, covering both figure pins and the spec's
+			// keep_trial_values).
+			key.Retained = c.KeepTrialValues
+		}
 		keyHash = key.Hash()
 		unlock := s.lockKey(keyHash)
 		defer unlock()
@@ -397,12 +422,33 @@ func ExecuteResolved(s *Session, job spec.Resolved) (*spec.Value, Info, error) {
 			// worth one trace instead of a silent recompute.
 			fmt.Fprintf(s.warn, "warning: %s: discarding undecodable cache entry: %v\n", name, err)
 		}
+		if hit && (rng == nil) != (res.Partial == nil) {
+			// The entry's shape does not match the job's (a full result
+			// under a partial key or vice versa): recompute and overwrite.
+			hit = false
+		}
 		if hit {
 			res.SetExecutionMeta(0, time.Since(start).Seconds())
-			return &res, Info{Cached: true, Trials: trials, Elapsed: time.Since(start), CacheKey: keyHash}, nil
+			return &res, Info{Cached: true, Trials: runTrials, Elapsed: time.Since(start), CacheKey: keyHash}, nil
 		}
 	}
-	res, rep, err := engine.RunCampaign(runner, c)
+	var res *spec.Value
+	if rng != nil {
+		partial, err := engine.RunCampaignPartial(runner, c, rng.Lo, rng.Hi)
+		if err != nil {
+			return nil, Info{}, err
+		}
+		res = &spec.Value{Partial: partial}
+		s.mu.Lock()
+		s.trialsExecuted += runTrials
+		s.mu.Unlock()
+		if cacheable {
+			_ = s.cache.Put(key, res)
+		}
+		return res, Info{Trials: runTrials, Elapsed: time.Since(start), CacheKey: keyHash}, nil
+	}
+	var rep *engine.Report
+	res, rep, err = engine.RunCampaign(runner, c)
 	if err != nil {
 		return nil, Info{}, err
 	}

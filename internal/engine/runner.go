@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -142,6 +143,24 @@ func (r *Report) ClearExecutionMeta() {
 func (r *Report) SetExecutionMeta(workers int, elapsedSeconds float64) {
 	r.Workers = workers
 	r.ElapsedSeconds = elapsedSeconds
+}
+
+// WriteSummary renders the report's text shape — header (with the
+// caller-supplied execution descriptor, e.g. "8 workers, 0.52s" or
+// "cached"), metric table, and series lines — shared by every
+// report-printing CLI so the format cannot drift between them.
+func (r *Report) WriteSummary(w io.Writer, how string) {
+	fmt.Fprintf(w, "== %s: %d trials, seed %d, %s ==\n", r.Scenario, r.Trials, r.Seed, how)
+	fmt.Fprintf(w, "  %-22s %7s %10s %10s %10s %10s %10s\n",
+		"metric", "count", "mean", "std", "p50", "p90", "max")
+	for _, m := range r.Metrics {
+		fmt.Fprintf(w, "  %-22s %7d %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+			m.Name, m.Count, m.Mean, m.StdDev, m.P50, m.P90, m.Max)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "  series %s: %d points (pointwise mean over %d trials)\n",
+			s.Name, len(s.Mean), s.Trials)
+	}
 }
 
 // Metric returns the summary of the named metric, if present.
@@ -305,7 +324,7 @@ func (r *Runner) Run(s Scenario) (*Report, error) {
 	shardSize := r.cfg.EffectiveShardSize()
 	workers := r.cfg.Workers
 	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultWorkers()
 	}
 	numShards := (trials + shardSize - 1) / shardSize
 	if workers > numShards {
@@ -314,6 +333,44 @@ func (r *Runner) Run(s Scenario) (*Report, error) {
 
 	start := time.Now()
 	aggs := make([]*shardAgg, numShards)
+	runIndexed(workers, numShards, trials, func(si int) int {
+		lo := si * shardSize
+		hi := lo + shardSize
+		if hi > trials {
+			hi = trials
+		}
+		if r.cfg.Budget != nil {
+			r.cfg.Budget.acquire()
+			defer r.cfg.Budget.release()
+		}
+		aggs[si] = runShard(s, r.cfg.Seed, lo, hi, r.cfg.KeepTrialValues)
+		if aggs[si].err != nil {
+			// The failing trial and the rest of its shard never completed;
+			// don't over-report.
+			return aggs[si].errTrial - lo
+		}
+		return hi - lo
+	}, r.cfg.Progress)
+
+	if err := firstError(aggs); err != nil {
+		return nil, err
+	}
+	rep, err := mergeShards(s.Name, aggs, trials, r.cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Workers = workers
+	rep.ElapsedSeconds = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// defaultWorkers is the pool size when Config.Workers is 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// runIndexed fans jobs 0..n-1 across a pool of workers. Each job returns
+// the number of trials it completed; progress (when non-nil) receives the
+// cumulative count against total, serialized, in completion order.
+func runIndexed(workers, n, total int, job func(i int) int, progress func(done, total int)) {
 	jobs := make(chan int)
 	var (
 		wg         sync.WaitGroup
@@ -324,50 +381,22 @@ func (r *Runner) Run(s Scenario) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for si := range jobs {
-				lo := si * shardSize
-				hi := lo + shardSize
-				if hi > trials {
-					hi = trials
-				}
-				if r.cfg.Budget != nil {
-					r.cfg.Budget.acquire()
-				}
-				aggs[si] = runShard(s, r.cfg.Seed, lo, hi, r.cfg.KeepTrialValues)
-				if r.cfg.Budget != nil {
-					r.cfg.Budget.release()
-				}
-				if r.cfg.Progress != nil {
-					completed := hi - lo
-					if aggs[si].err != nil {
-						// The failing trial and the rest of its shard never
-						// completed; don't over-report.
-						completed = aggs[si].errTrial - lo
-					}
+			for i := range jobs {
+				completed := job(i)
+				if progress != nil {
 					progressMu.Lock()
 					done += completed
-					r.cfg.Progress(done, trials)
+					progress(done, total)
 					progressMu.Unlock()
 				}
 			}
 		}()
 	}
-	for si := 0; si < numShards; si++ {
-		jobs <- si
+	for i := 0; i < n; i++ {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-
-	if err := firstError(aggs); err != nil {
-		return nil, err
-	}
-	rep, err := mergeShards(s, aggs, trials, r.cfg)
-	if err != nil {
-		return nil, err
-	}
-	rep.Workers = workers
-	rep.ElapsedSeconds = time.Since(start).Seconds()
-	return rep, nil
 }
 
 // firstError returns the error of the lowest-indexed failing trial.
@@ -384,8 +413,8 @@ func firstError(aggs []*shardAgg) error {
 
 // mergeShards folds the per-shard aggregates, in ascending shard order,
 // into one Report.
-func mergeShards(s Scenario, aggs []*shardAgg, trials int, cfg Config) (*Report, error) {
-	rep := &Report{Scenario: s.Name, Seed: cfg.Seed, Trials: trials}
+func mergeShards(scenario string, aggs []*shardAgg, trials int, cfg Config) (*Report, error) {
+	rep := &Report{Scenario: scenario, Seed: cfg.Seed, Trials: trials}
 	scalarOrder := []string{}
 	scalars := map[string]*scalarAgg{}
 	seriesOrder := []string{}
@@ -407,7 +436,7 @@ func mergeShards(s Scenario, aggs []*shardAgg, trials int, cfg Config) (*Report,
 			src := a.scalars[name]
 			dst.online.Merge(&src.online)
 			if err := dst.sketch.Merge(src.sketch); err != nil {
-				return nil, fmt.Errorf("engine: scenario %s: %w", s.Name, err)
+				return nil, fmt.Errorf("engine: scenario %s: %w", scenario, err)
 			}
 		}
 		for _, name := range a.seriesOrder {
@@ -420,7 +449,7 @@ func mergeShards(s Scenario, aggs []*shardAgg, trials int, cfg Config) (*Report,
 			}
 			if len(src.points) != len(dst.points) {
 				return nil, fmt.Errorf("engine: scenario %s: series %q length differs across shards (%d vs %d)",
-					s.Name, name, len(src.points), len(dst.points))
+					scenario, name, len(src.points), len(dst.points))
 			}
 			for i := range src.points {
 				dst.points[i].Merge(&src.points[i])

@@ -8,14 +8,19 @@ import (
 )
 
 // Value is the uniform result of a spec-driven execution: exactly one field
-// is set, matching the spec's kind. One concrete result type is what lets
-// one runner, one cache entry shape, and one service response carry every
-// campaign in the repository.
+// is set, matching the spec's kind — or Partial, for either kind, when the
+// spec restricts execution to a proper trial sub-range. One concrete result
+// type is what lets one runner, one cache entry shape, and one service
+// response carry every campaign in the repository.
 type Value struct {
 	// Figure is the result of a KindFigure job.
 	Figure *experiments.Result `json:"figure,omitempty"`
 	// Report is the result of a KindScenario job.
 	Report *engine.Report `json:"report,omitempty"`
+	// Partial is the result of a job with a proper trial sub-range: the
+	// serialized shard aggregates of that range, mergeable by the
+	// coordinator (engine.MergePartials) into the full campaign result.
+	Partial *engine.Partial `json:"partial,omitempty"`
 }
 
 // ClearExecutionMeta strips the per-invocation execution metadata (worker
@@ -43,14 +48,29 @@ type Resolved struct {
 	Spec JobSpec
 	// Campaign is the executable campaign, finalizing into a *Value.
 	Campaign engine.Campaign[*Value]
-	// Trials is the effective trial count (after the spec's override and
-	// the campaign's pins). Trials and ShardSize are advisory metadata for
-	// scheduling and display; execution and the cache key always re-derive
-	// them from Spec + Campaign (the same arithmetic Resolve uses), so a
-	// hand-built Resolved with stale sizes is mis-sorted, never mis-keyed.
+	// Trials is the effective trial count this job executes: the campaign's
+	// full count, or the range size for a partial job. Trials and ShardSize
+	// are advisory metadata for scheduling and display; execution and the
+	// cache key always re-derive them from Spec + Campaign (the same
+	// arithmetic Resolve uses), so a hand-built Resolved with stale sizes is
+	// mis-sorted, never mis-keyed.
 	Trials int
+	// TotalTrials is the campaign's full trial space [0, TotalTrials) —
+	// equal to Trials unless the job is partial.
+	TotalTrials int
 	// ShardSize is the effective shard size.
 	ShardSize int
+}
+
+// PartialRange returns the proper trial sub-range this job executes, or nil
+// when the job covers the full trial space (including a TrialRange that
+// spells out the full range).
+func (r Resolved) PartialRange() *Range {
+	rg := r.Spec.TrialRange
+	if rg == nil || (rg.Lo == 0 && rg.Hi == r.TotalTrials) {
+		return nil
+	}
+	return rg
 }
 
 // Shards returns the number of aggregation shards the job partitions into.
@@ -113,15 +133,19 @@ func Resolve(s JobSpec) (Resolved, error) {
 	if trials <= 0 {
 		return Resolved{}, fmt.Errorf("spec: %s: no trial count configured", s.ID)
 	}
-	if r := s.TrialRange; r != nil && (r.Lo != 0 || r.Hi != trials) {
-		// The schema reserves sub-ranges for the sharding coordinator; until
-		// partial execution and shard-aggregate merging exist, accepting one
-		// here would silently compute the wrong aggregate.
-		return Resolved{}, fmt.Errorf(
-			"spec: %s: partial trial range [%d, %d) of %d trials is reserved for the sharding coordinator; drop \"trial_range\" or cover the full range",
-			s.ID, r.Lo, r.Hi, trials)
+	job := Resolved{Spec: s, Campaign: campaign, Trials: trials, TotalTrials: trials, ShardSize: shardSize}
+	if r := s.TrialRange; r != nil {
+		if r.Hi > trials {
+			return Resolved{}, fmt.Errorf("spec: %s: trial range [%d, %d) exceeds the job's %d trials",
+				s.ID, r.Lo, r.Hi, trials)
+		}
+		if rg := job.PartialRange(); rg != nil {
+			// A partial job's work — and what its trials/progress counters
+			// describe — is the range, not the full campaign.
+			job.Trials = rg.Hi - rg.Lo
+		}
 	}
-	return Resolved{Spec: s, Campaign: campaign, Trials: trials, ShardSize: shardSize}, nil
+	return job, nil
 }
 
 // ResolveAll resolves every spec, failing on the first unresolvable one —

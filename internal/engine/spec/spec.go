@@ -33,11 +33,13 @@ const (
 )
 
 // Range is a half-open trial range [Lo, Hi). It is the suite-sharding
-// coordination record: a future coordinator hands each worker process a
-// sub-range of one spec's trials and merges the shard aggregates. Until that
-// coordinator exists, only the full range (or no range) is executable — see
-// Resolve — but the field is part of the wire schema today so spec files and
-// job hashes stay stable when sharding lands.
+// coordination record: the coordinator (internal/engine/coord) hands each
+// worker process a sub-range of one spec's trials as its own
+// content-addressed job, and merges the returned shard aggregates into the
+// full result. A spec carrying a proper sub-range resolves to a partial
+// job whose result is a serialized engine.Partial rather than a finalized
+// figure or report; a range covering the whole trial space is equivalent to
+// omitting it (though the two hash to distinct job IDs).
 type Range struct {
 	Lo int `json:"lo"`
 	Hi int `json:"hi"`

@@ -135,17 +135,43 @@ func TestResolve(t *testing.T) {
 		{spec.JobSpec{Kind: spec.KindFigure, ID: "fig99", Seed: 1}, "unknown figure"},
 		{spec.JobSpec{Kind: spec.KindScenario, ID: "nope", Seed: 1}, "unknown scenario"},
 		{spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 1, Trials: 8,
-			TrialRange: &spec.Range{Lo: 0, Hi: 4}}, "reserved for the sharding coordinator"},
+			TrialRange: &spec.Range{Lo: 4, Hi: 12}}, "exceeds the job's 8 trials"},
 	} {
 		if _, err := spec.Resolve(tc.sp); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("Resolve(%+v) error %v, want it to mention %q", tc.sp, err, tc.want)
 		}
 	}
 
-	// A full-coverage trial range is the sharding no-op and resolves.
-	if _, err := spec.Resolve(spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 1, Trials: 8,
-		TrialRange: &spec.Range{Lo: 0, Hi: 8}}); err != nil {
+	// A full-coverage trial range is the sharding no-op and resolves as a
+	// full job.
+	r, err = spec.Resolve(spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 1, Trials: 8,
+		TrialRange: &spec.Range{Lo: 0, Hi: 8}})
+	if err != nil {
 		t.Errorf("full trial range rejected: %v", err)
+	}
+	if r.PartialRange() != nil || r.Trials != 8 || r.TotalTrials != 8 {
+		t.Errorf("full-range job resolved as partial: %+v", r)
+	}
+
+	// A proper sub-range resolves as a partial job: the range is its work,
+	// the campaign's full span is retained alongside.
+	r, err = spec.Resolve(spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 1, Trials: 8,
+		TrialRange: &spec.Range{Lo: 2, Hi: 5}})
+	if err != nil {
+		t.Fatalf("partial trial range rejected: %v", err)
+	}
+	if rg := r.PartialRange(); rg == nil || rg.Lo != 2 || rg.Hi != 5 || r.Trials != 3 || r.TotalTrials != 8 {
+		t.Errorf("partial job resolved to %+v (range %+v), want trials 3 of 8 over [2, 5)", r, r.PartialRange())
+	}
+
+	// Partial ranges work for multi-trial figure jobs too.
+	r, err = spec.Resolve(spec.JobSpec{Kind: spec.KindFigure, ID: "maxrange", Seed: 1,
+		TrialRange: &spec.Range{Lo: 30, Hi: 36}})
+	if err != nil {
+		t.Fatalf("figure partial range rejected: %v", err)
+	}
+	if r.Trials != 6 || r.TotalTrials != 36 || r.ShardSize != 1 {
+		t.Errorf("maxrange partial resolved to %d/%d/%d, want 6 of 36 at shard 1", r.Trials, r.TotalTrials, r.ShardSize)
 	}
 }
 

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"resilientloc/internal/engine"
+)
+
+// TestFigurePartialMergeMatchesGolden: the multi-trial figure campaigns —
+// the ones a sharding coordinator actually splits — reproduce their golden
+// output exactly when their trial space is partitioned into partial runs,
+// shipped through the wire encoding, merged, and finalized. Partitions are
+// random (seeded), including single-trial ranges; seeds 1 and 5 match the
+// golden corpus pins.
+func TestFigurePartialMergeMatchesGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, id := range []string{"maxrange", "fig22", "fig23"} {
+		if testing.Short() && slowFigs[id] {
+			continue
+		}
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		for _, seed := range goldenSeeds {
+			c := e.Campaign(seed)
+			runner, err := engine.NewRunner(engine.Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := e.RunWorkers(seed, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantJSON, err := json.Marshal(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trials, _ := engine.CampaignConfig(runner, c)
+			for iter := 0; iter < 3; iter++ {
+				// 2..5 contiguous ranges with random cuts (dropping empties).
+				cuts := map[int]bool{0: true, trials: true}
+				for i := 0; i < 1+rng.Intn(4); i++ {
+					cuts[rng.Intn(trials+1)] = true
+				}
+				var points []int
+				for cp := range cuts {
+					points = append(points, cp)
+				}
+				for i := range points {
+					for j := i + 1; j < len(points); j++ {
+						if points[j] < points[i] {
+							points[i], points[j] = points[j], points[i]
+						}
+					}
+				}
+				var parts []*engine.Partial
+				for i := 0; i+1 < len(points); i++ {
+					p, err := engine.RunCampaignPartial(runner, c, points[i], points[i+1])
+					if err != nil {
+						t.Fatalf("%s seed %d range [%d,%d): %v", id, seed, points[i], points[i+1], err)
+					}
+					b, err := json.Marshal(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var back engine.Partial
+					if err := json.Unmarshal(b, &back); err != nil {
+						t.Fatal(err)
+					}
+					parts = append(parts, &back)
+				}
+				rep, err := engine.MergePartials(parts)
+				if err != nil {
+					t.Fatalf("%s seed %d cuts %v: merge: %v", id, seed, points, err)
+				}
+				res, err := engine.FinalizeCampaign(c, rep)
+				if err != nil {
+					t.Fatalf("%s seed %d cuts %v: finalize: %v", id, seed, points, err)
+				}
+				if res.Render() != full.Render() {
+					t.Fatalf("%s seed %d cuts %v: rendered output diverged from full run", id, seed, points)
+				}
+				gotJSON, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(gotJSON) != string(wantJSON) {
+					t.Fatalf("%s seed %d cuts %v: result JSON diverged", id, seed, points)
+				}
+			}
+		}
+	}
+}

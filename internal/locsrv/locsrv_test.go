@@ -1,4 +1,4 @@
-package main
+package locsrv
 
 import (
 	"bufio"
@@ -13,19 +13,21 @@ import (
 	"testing"
 	"time"
 
+	"resilientloc/internal/engine"
 	"resilientloc/internal/engine/run"
+	"resilientloc/internal/engine/spec"
 )
 
-func newTestServer(t *testing.T, opts run.Options) (*server, *httptest.Server) {
+func newTestServer(t *testing.T, opts run.Options) (*Server, *httptest.Server) {
 	t.Helper()
 	if opts.CacheDir == "" && !opts.NoCache {
 		opts.CacheDir = filepath.Join(t.TempDir(), "cache")
 	}
-	srv, err := newServer(opts)
+	srv, err := New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hs := httptest.NewServer(srv.handler())
+	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(hs.Close)
 	return srv, hs
 }
@@ -132,7 +134,7 @@ func TestDedupInFlightAndResubmission(t *testing.T) {
 	if v.Status != "done" || v.Cached {
 		t.Fatalf("job ended %q cached=%v, want a fresh done run", v.Status, v.Cached)
 	}
-	if got := srv.sess.TrialsExecuted(); got != 4 {
+	if got := srv.Session().TrialsExecuted(); got != 4 {
 		t.Errorf("concurrent identical submissions computed %d trials, want exactly 4", got)
 	}
 
@@ -144,7 +146,7 @@ func TestDedupInFlightAndResubmission(t *testing.T) {
 	if jobs[0].Status != "done" {
 		t.Errorf("resubmission of a finished job reports %q, want done", jobs[0].Status)
 	}
-	if got := srv.sess.TrialsExecuted(); got != 4 {
+	if got := srv.Session().TrialsExecuted(); got != 4 {
 		t.Errorf("resubmission recomputed: %d trials total, want still 4", got)
 	}
 
@@ -156,7 +158,7 @@ func TestDedupInFlightAndResubmission(t *testing.T) {
 	if v := poll(t, hs, other.ID); v.Status != "done" {
 		t.Fatalf("second job ended %q: %s", v.Status, v.Error)
 	}
-	if got := srv.sess.TrialsExecuted(); got != 8 {
+	if got := srv.Session().TrialsExecuted(); got != 8 {
 		t.Errorf("distinct job did not compute: %d trials total, want 8", got)
 	}
 }
@@ -325,19 +327,204 @@ func TestFinishedJobEviction(t *testing.T) {
 	}
 }
 
-// TestReservedTrialRangeRejected: a partial trial range (reserved for the
-// sharding coordinator) is rejected at submission time, before any job is
-// registered — silently computing the wrong aggregate over the wire would
-// be far worse than a 400.
-func TestReservedTrialRangeRejected(t *testing.T) {
+// TestPartialTrialRangeOverTheWire: a spec restricted to a trial sub-range
+// executes partially — the response carries serialized shard aggregates
+// (Value.Partial), never a finalized report — and the sub-ranges of one
+// job merge back to exactly the full job's result. This is the worker-side
+// half of the distributed coordinator.
+func TestPartialTrialRangeOverTheWire(t *testing.T) {
 	_, hs := newTestServer(t, run.Options{NoCache: true})
+
+	full := poll(t, hs, submit(t, hs, `{"kind":"scenario","id":"multilat-town","seed":1,"trials":6}`)[0].ID)
+	if full.Status != "done" || full.Result == nil || full.Result.Report == nil {
+		t.Fatalf("full job: %+v", full)
+	}
+
+	var parts []*engine.Partial
+	for _, body := range []string{
+		`{"kind":"scenario","id":"multilat-town","seed":1,"trials":6,"trial_range":{"lo":0,"hi":4}}`,
+		`{"kind":"scenario","id":"multilat-town","seed":1,"trials":6,"trial_range":{"lo":4,"hi":6}}`,
+	} {
+		js := submit(t, hs, body)
+		if len(js) != 1 {
+			t.Fatalf("submitted 1 partial spec, got %d jobs", len(js))
+		}
+		v := poll(t, hs, js[0].ID)
+		if v.Status != "done" || v.Result == nil || v.Result.Partial == nil || v.Result.Report != nil {
+			t.Fatalf("partial job %s: %+v", body, v)
+		}
+		if v.Result.Partial.Retained {
+			t.Errorf("scenario partial retained trial values: %+v", v.Result.Partial)
+		}
+		parts = append(parts, v.Result.Partial)
+	}
+	if parts[0].Hi != 4 || parts[1].Lo != 4 {
+		t.Fatalf("partials cover %+v", parts)
+	}
+	rep, err := engine.MergePartials(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.SetExecutionMeta(full.Result.Report.Workers, full.Result.Report.ElapsedSeconds)
+	got, _ := json.Marshal(rep)
+	want, _ := json.Marshal(full.Result.Report)
+	if string(got) != string(want) {
+		t.Errorf("merged wire partials diverged from the full job\n got %s\nwant %s", got, want)
+	}
+
+	// An out-of-bounds range is still rejected at submission.
 	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json",
-		strings.NewReader(`{"kind":"scenario","id":"multilat-town","seed":1,"trial_range":{"lo":0,"hi":2}}`))
+		strings.NewReader(`{"kind":"scenario","id":"multilat-town","seed":1,"trials":6,"trial_range":{"lo":4,"hi":9}}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("reserved trial range accepted over the wire: status %d", resp.StatusCode)
+		t.Errorf("oversized trial range accepted over the wire: status %d", resp.StatusCode)
+	}
+
+	// keep_trial_values is accepted on a proper sub-range — the Partial
+	// serializes the retained values, which is how the coordinator
+	// distributes retention jobs. (The full-job rejection is covered in
+	// TestSubmitAndLookupErrors.)
+	keepJobs := submit(t, hs,
+		`{"kind":"scenario","id":"multilat-town","seed":1,"trials":6,"keep_trial_values":true,"trial_range":{"lo":1,"hi":3}}`)
+	v := poll(t, hs, keepJobs[0].ID)
+	if v.Status != "done" || v.Result == nil || v.Result.Partial == nil || !v.Result.Partial.Retained {
+		t.Errorf("partial retention job: %+v, want a done retained partial", v)
+	}
+}
+
+// TestEventsTerminalFailedLine: when a job errors, every events subscriber
+// receives a terminal status:"failed" line carrying the error (and the
+// retryable skipped marker when applicable) before the stream closes —
+// a consumer must be able to distinguish job failure from a dropped
+// connection, which ends with no status line at all. The failure is
+// injected through the same finish path the suite executor drives.
+func TestEventsTerminalFailedLine(t *testing.T) {
+	srv, hs := newTestServer(t, run.Options{NoCache: true})
+
+	// Register a running job directly (no library scenario fails on
+	// demand), then subscribe and fail it.
+	sp := spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 77, Trials: 4}
+	rj, err := spec.Resolve(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sp.Hash()
+	j := &job{
+		id:       id,
+		resolved: rj,
+		status:   "running",
+		trials:   rj.Trials,
+		done:     make(chan struct{}),
+		subs:     make(map[chan [2]int]struct{}),
+	}
+	srv.mu.Lock()
+	srv.jobs[id] = j
+	srv.mu.Unlock()
+
+	type streamResult struct {
+		events []event
+		err    error
+	}
+	resc := make(chan streamResult, 1)
+	go func() {
+		resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/events")
+		if err != nil {
+			resc <- streamResult{nil, err}
+			return
+		}
+		defer resp.Body.Close()
+		var events []event
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var e event
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				resc <- streamResult{nil, fmt.Errorf("bad line %q: %v", sc.Text(), err)}
+				return
+			}
+			events = append(events, e)
+		}
+		resc <- streamResult{events, sc.Err()}
+	}()
+
+	// Let the subscriber attach (the snapshot line is emitted on attach).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		n := len(j.subs)
+		srv.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never attached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.finish(run.Outcome{Spec: sp, Err: fmt.Errorf("trial 2: boom")})
+
+	res := <-resc
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if len(res.events) == 0 {
+		t.Fatal("no events received")
+	}
+	last := res.events[len(res.events)-1]
+	if last.Status != "failed" || !strings.Contains(last.Error, "boom") || last.Skipped {
+		t.Errorf("terminal event %+v, want status failed with the job's error", last)
+	}
+
+	// A late subscriber to the failed job gets the terminal line too, and
+	// the job summary agrees.
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var late []event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		late = append(late, e)
+	}
+	if len(late) != 2 || late[1].Status != "failed" || !strings.Contains(late[1].Error, "boom") {
+		t.Errorf("late subscription got %+v, want snapshot + terminal failed", late)
+	}
+
+	// Skipped failures mark the terminal line as retryable.
+	sp2 := spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 78, Trials: 4}
+	rj2, err := spec.Resolve(sp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2 := sp2.Hash()
+	srv.mu.Lock()
+	srv.jobs[id2] = &job{id: id2, resolved: rj2, status: "running", trials: rj2.Trials,
+		done: make(chan struct{}), subs: make(map[chan [2]int]struct{})}
+	srv.mu.Unlock()
+	srv.finish(run.Outcome{Spec: sp2, Err: fmt.Errorf("%w", run.ErrSkipped)})
+	resp2, err := http.Get(hs.URL + "/v1/jobs/" + id2 + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var skippedEvents []event
+	sc2 := bufio.NewScanner(resp2.Body)
+	for sc2.Scan() {
+		var e event
+		if err := json.Unmarshal(sc2.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		skippedEvents = append(skippedEvents, e)
+	}
+	final := skippedEvents[len(skippedEvents)-1]
+	if final.Status != "failed" || !final.Skipped {
+		t.Errorf("skipped job terminal event %+v, want failed with skipped=true", final)
 	}
 }
