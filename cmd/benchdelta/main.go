@@ -1,0 +1,145 @@
+// Command benchdelta compares two benchmark records in the BENCH_engine.json
+// format (go test -bench -json, i.e. test2json event streams) and reports the
+// per-benchmark ns/op delta — the CI step that turns the uploaded benchmark
+// artifact into an actual regression signal instead of a write-only file.
+//
+// Usage:
+//
+//	benchdelta [-threshold 10] [-annotate] [-fail] old.json new.json
+//
+// Benchmarks present in both files print as "old -> new (+delta%)"; ones
+// present in only one file are listed as new or gone. A regression is a
+// ns/op increase beyond -threshold percent: -annotate emits a GitHub
+// Actions ::warning:: line per regression (so the run is annotated without
+// failing), and -fail exits nonzero instead, for use as a hard gate. A
+// missing old file is not an error — the first run of a pipeline has no
+// baseline — it prints a note and exits zero.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"time"
+)
+
+func main() {
+	if err := realMain(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches a benchmark result line inside a test2json "output"
+// event: name (with the -GOMAXPROCS suffix), iteration count, ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+
+// parseBench extracts ns/op per benchmark name from a test2json stream.
+// Repeated results for one name keep the last, matching -count semantics.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		if json.Unmarshal(sc.Bytes(), &ev) != nil || ev.Action != "output" {
+			continue
+		}
+		if m := benchLine.FindStringSubmatch(ev.Output); m != nil {
+			var ns float64
+			if _, err := fmt.Sscanf(m[3], "%g", &ns); err == nil {
+				out[m[1]] = ns
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func realMain(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdelta", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 10, "ns/op increase (percent) that counts as a regression")
+	annotate := fs.Bool("annotate", false, "emit a GitHub Actions ::warning:: line per regression")
+	fail := fs.Bool("fail", false, "exit nonzero when any benchmark regresses beyond the threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdelta [-threshold PCT] [-annotate] [-fail] old.json new.json")
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	old, err := parseBench(oldPath)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(out, "benchdelta: no baseline at %s; nothing to compare\n", oldPath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	cur, err := parseBench(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(old)+len(cur))
+	seen := make(map[string]bool)
+	for n := range old {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range cur {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, n := range names {
+		o, hasOld := old[n]
+		c, hasCur := cur[n]
+		switch {
+		case !hasCur:
+			fmt.Fprintf(out, "%-44s %12s -> %12s\n", n, fmtNs(o), "(gone)")
+		case !hasOld:
+			fmt.Fprintf(out, "%-44s %12s -> %12s\n", n, "(new)", fmtNs(c))
+		default:
+			delta := (c - o) / o * 100
+			mark := ""
+			if delta > *threshold {
+				regressions++
+				mark = "  REGRESSION"
+				if *annotate {
+					fmt.Fprintf(out, "::warning file=BENCH_engine.json::%s regressed %.1f%% (%s -> %s, threshold %.0f%%)\n",
+						n, delta, fmtNs(o), fmtNs(c), *threshold)
+				}
+			}
+			fmt.Fprintf(out, "%-44s %12s -> %12s  %+6.1f%%%s\n", n, fmtNs(o), fmtNs(c), delta, mark)
+		}
+	}
+	if regressions > 0 && *fail {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", regressions, *threshold)
+	}
+	return nil
+}
+
+// fmtNs renders a ns/op value as a human duration (sub-ns values keep the
+// raw number — durations round them to 0).
+func fmtNs(ns float64) string {
+	if ns < 1 {
+		return fmt.Sprintf("%gns", ns)
+	}
+	return time.Duration(ns).Round(time.Microsecond / 10).String()
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench fabricates a test2json benchmark record with the given
+// name → ns/op results.
+func writeBench(t *testing.T, path string, results map[string]float64) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"resilientloc"}` + "\n")
+	for name, ns := range results {
+		// The Output field carries the raw benchmark line, tabs and all.
+		b.WriteString(fmt.Sprintf(`{"Action":"output","Package":"resilientloc","Output":"%s-8 \t       2\t %g ns/op\n"}`,
+			name, ns) + "\n")
+	}
+	b.WriteString(`{"Action":"pass","Package":"resilientloc"}` + "\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBenchStripsProcsSuffix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	writeBench(t, path, map[string]float64{
+		"BenchmarkFigSuiteSerial": 500000000,
+		"BenchmarkCoordMerge":     1200.5,
+	})
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkFigSuiteSerial"] != 500000000 || got["BenchmarkCoordMerge"] != 1200.5 {
+		t.Errorf("parsed %v", got)
+	}
+}
+
+func TestDeltaReportsRegressionsAndChurn(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeBench(t, oldPath, map[string]float64{
+		"BenchmarkStable":    1000,
+		"BenchmarkRegressed": 1000,
+		"BenchmarkImproved":  1000,
+		"BenchmarkGone":      1000,
+	})
+	writeBench(t, newPath, map[string]float64{
+		"BenchmarkStable":    1040, // +4%: inside the threshold
+		"BenchmarkRegressed": 1300, // +30%: regression
+		"BenchmarkImproved":  700,
+		"BenchmarkAdded":     50,
+	})
+
+	var out strings.Builder
+	if err := realMain([]string{"-annotate", oldPath, newPath}, &out); err != nil {
+		t.Fatalf("annotate mode must not fail the run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"::warning file=BENCH_engine.json::BenchmarkRegressed regressed 30.0%",
+		"REGRESSION",
+		"(new)",
+		"(gone)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output lacks %q:\n%s", want, s)
+		}
+	}
+	if strings.Count(s, "::warning") != 1 {
+		t.Errorf("want exactly one warning annotation (only the >10%% regression):\n%s", s)
+	}
+	if strings.Contains(s, "BenchmarkImproved") && strings.Contains(s, "BenchmarkImproved  REGRESSION") {
+		t.Errorf("an improvement was flagged as a regression:\n%s", s)
+	}
+
+	// -fail turns the regression into a nonzero exit.
+	if err := realMain([]string{"-fail", oldPath, newPath}, io.Discard); err == nil {
+		t.Error("-fail with a 30% regression should error")
+	}
+	// A higher threshold absorbs it.
+	if err := realMain([]string{"-fail", "-threshold", "50", oldPath, newPath}, io.Discard); err != nil {
+		t.Errorf("-threshold 50 should absorb a 30%% regression: %v", err)
+	}
+}
+
+func TestMissingBaselineIsNotAnError(t *testing.T) {
+	dir := t.TempDir()
+	newPath := filepath.Join(dir, "new.json")
+	writeBench(t, newPath, map[string]float64{"BenchmarkX": 10})
+	var out strings.Builder
+	if err := realMain([]string{filepath.Join(dir, "absent.json"), newPath}, &out); err != nil {
+		t.Fatalf("missing baseline must not error: %v", err)
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Errorf("output %q should note the missing baseline", out.String())
+	}
+}

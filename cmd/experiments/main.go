@@ -40,6 +40,7 @@ import (
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
 	"resilientloc/internal/experiments"
+	"resilientloc/internal/obs"
 )
 
 func main() {
@@ -87,11 +88,19 @@ func realMain(args []string, out io.Writer) error {
 	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed figure (0 = one per worker; needs -workers)")
 	asJSON := fs.Bool("json", false, "emit results as a JSON array")
 	progress := fs.Bool("progress", true, "stream per-figure trial progress to stderr")
+	traceFile := fs.String("trace", "",
+		"write the run's span tree (jobs, engine shards; distributed runs add coordinator ranges) as Chrome trace_event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *progress && !*asJSON {
 		opts.Progress = os.Stderr
+	}
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
 	}
 
 	if *specFile != "" {
@@ -104,7 +113,10 @@ func realMain(args []string, out io.Writer) error {
 		return err
 	}
 	if *workers != "" {
-		return runDistributed(out, specs, *workers, *ranges, *asJSON, *progress)
+		if err := runDistributed(ctx, out, specs, *workers, *ranges, *asJSON, *progress); err != nil {
+			return err
+		}
+		return writeTrace(tracer, *traceFile)
 	}
 	if *ranges != 0 {
 		return fmt.Errorf("-ranges needs -workers")
@@ -122,7 +134,7 @@ func realMain(args []string, out io.Writer) error {
 	var firstErr error
 	// onDone streams each figure in suite order as soon as it (and all its
 	// predecessors) finished, so output bytes match sequential execution.
-	run.ExecuteAll(sess, jobs, func(o run.Outcome) {
+	run.ExecuteAllContext(ctx, sess, jobs, func(o run.Outcome) {
 		if o.Err != nil {
 			if firstErr == nil && !errors.Is(o.Err, run.ErrSkipped) {
 				firstErr = fmt.Errorf("%s: %w", o.Spec.ID, o.Err)
@@ -142,6 +154,9 @@ func realMain(args []string, out io.Writer) error {
 	if firstErr != nil {
 		return firstErr
 	}
+	if err := writeTrace(tracer, *traceFile); err != nil {
+		return err
+	}
 	if *asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -150,20 +165,36 @@ func realMain(args []string, out io.Writer) error {
 	return nil
 }
 
+// writeTrace dumps the tracer's span tree as Chrome trace_event JSON; a nil
+// tracer (no -trace flag) writes nothing.
+func writeTrace(tracer *obs.Tracer, path string) error {
+	if tracer == nil {
+		return nil
+	}
+	if err := tracer.WriteChromeTraceFile(path); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return nil
+}
+
 // runDistributed executes each figure spec across the locd worker fleet via
 // the trial-range coordinator. Figure results are byte-identical to the
 // local path (figures carry no execution metadata), so -json output matches
 // a local run exactly.
-func runDistributed(out io.Writer, specs []spec.JobSpec, workers string, ranges int, asJSON, progress bool) error {
+func runDistributed(ctx context.Context, out io.Writer, specs []spec.JobSpec, workers string, ranges int, asJSON, progress bool) error {
 	urls := coord.ParseWorkers(workers)
 	var results []*experiments.Result
 	for _, sp := range specs {
 		start := time.Now()
 		opts := coord.Options{Workers: urls, Ranges: ranges, Warnings: os.Stderr}
+		var sb *coord.Scoreboard
 		if progress && !asJSON {
-			opts.OnProgress = coord.MilestoneProgress(os.Stderr, sp.ID)
+			sb = coord.NewScoreboard(os.Stderr, sp.ID)
+			opts.OnProgress = sb.Progress
+			opts.OnScoreboard = sb.Update
 		}
-		val, st, err := coord.Execute(context.Background(), sp, opts)
+		val, st, err := coord.Execute(ctx, sp, opts)
+		sb.Final()
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.ID, err)
 		}

@@ -10,6 +10,13 @@
 //	locc -workers http://host1:8090,http://host2:8090 -spec jobs.json [-json]
 //	locc -workers ... -kind scenario -id multilat-town [-seed S] [-trials N] [-shard-size N]
 //	locc -workers ... -kind figure -id maxrange [-seed S] [-ranges N] [-stall-timeout 5m]
+//	locc -workers ... -kind figure -id maxrange -trace out.json
+//
+// On a terminal, progress renders as a live per-worker scoreboard (ranges
+// won, trials/sec, retries, stall hedges). -trace writes the run's full
+// span tree — coordinator ranges and attempts, plus each winning worker's
+// job and engine-shard spans grafted beneath them — as Chrome trace_event
+// JSON, loadable in chrome://tracing or Perfetto.
 //
 // Jobs run sequentially; each job's trials are what distribute. -ranges
 // controls the split granularity (default: one range per worker). Every
@@ -29,6 +36,7 @@ import (
 
 	"resilientloc/internal/engine/coord"
 	"resilientloc/internal/engine/spec"
+	"resilientloc/internal/obs"
 )
 
 func main() {
@@ -70,7 +78,10 @@ func realMain(args []string, out, errOut io.Writer) error {
 	trials := fs.Int("trials", 0, "trial-count override (scenario jobs only)")
 	shardSize := fs.Int("shard-size", 0, "shard-size override (scenario jobs only)")
 	asJSON := fs.Bool("json", false, "emit results as a JSON array (figures and reports, naked)")
-	progress := fs.Bool("progress", true, "print aggregate trial progress to stderr")
+	progress := fs.Bool("progress", true,
+		"print aggregate trial progress and a live per-worker scoreboard to stderr")
+	traceFile := fs.String("trace", "",
+		"write the run's span tree (coordinator ranges, worker jobs, engine shards) as Chrome trace_event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +94,16 @@ func realMain(args []string, out, errOut io.Writer) error {
 		return err
 	}
 
+	// One tracer spans the whole invocation: each job's coordinator spans
+	// (and the worker subtrees grafted under them) accumulate into one
+	// Chrome trace file.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+
 	var results []json.RawMessage
 	for _, sp := range specs {
 		opts := coord.Options{
@@ -91,11 +112,15 @@ func realMain(args []string, out, errOut io.Writer) error {
 			StallTimeout: *stall,
 			Warnings:     errOut,
 		}
+		var sb *coord.Scoreboard
 		if *progress && !*asJSON {
-			opts.OnProgress = coord.MilestoneProgress(errOut, sp.ID)
+			sb = coord.NewScoreboard(errOut, sp.ID)
+			opts.OnProgress = sb.Progress
+			opts.OnScoreboard = sb.Update
 		}
 		start := time.Now()
-		val, st, err := coord.Execute(context.Background(), sp, opts)
+		val, st, err := coord.Execute(ctx, sp, opts)
+		sb.Final()
 		if err != nil {
 			return err
 		}
@@ -116,8 +141,14 @@ func realMain(args []string, out, errOut io.Writer) error {
 		default:
 			return fmt.Errorf("%s: coordinator returned no figure or report", sp.ID)
 		}
-		fmt.Fprintf(out, "  (distributed: %d ranges over %d workers, %d retries, %v)\n\n",
-			st.Ranges, st.Workers, st.Retries, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "  (distributed: %d ranges over %d workers, %d retries (%d hedged, %d dedup losses), %v)\n\n",
+			st.Ranges, st.Workers, st.Retries, st.Hedges, st.DedupLosses,
+			time.Since(start).Round(time.Millisecond))
+	}
+	if tracer != nil {
+		if err := tracer.WriteChromeTraceFile(*traceFile); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)

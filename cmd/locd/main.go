@@ -12,12 +12,17 @@
 //	GET  /v1/jobs/{id}        job status, and the result once done
 //	GET  /v1/jobs/{id}/events NDJSON stream of trial-progress events
 //	GET  /v1/cache/{key}      raw result-cache entry by content address
-//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus text exposition of all counters
+//	GET  /healthz             liveness + queue depth, in-flight jobs, budget saturation
 //
 // Usage:
 //
 //	locd [-addr 127.0.0.1:8090] [-parallel W] [-suite-parallel C]
-//	     [-cache DIR | -no-cache] [-cache-gc=off]
+//	     [-cache DIR | -no-cache] [-cache-gc=off] [-debug-addr 127.0.0.1:6060]
+//
+// -debug-addr starts a second listener serving net/http/pprof under /debug/
+// plus a /metrics alias, kept off the job-serving address so profiling
+// endpoints are never exposed to job clients by accident.
 //
 // Each submitted batch executes through run.ExecuteAll: up to
 // -suite-parallel campaigns overlap (default 0 = GOMAXPROCS — this is a
@@ -32,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +45,7 @@ import (
 
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/locsrv"
+	"resilientloc/internal/obs"
 )
 
 func main() {
@@ -55,6 +62,8 @@ func realMain(args []string) error {
 	// parameters (seed, trials, shard size) come from each submitted spec,
 	// and there is no terminal to throttle repaints for.
 	addr := fs.String("addr", "127.0.0.1:8090", "listen address")
+	debugAddr := fs.String("debug-addr", "",
+		"optional debug listen address serving net/http/pprof and /metrics (e.g. 127.0.0.1:6060)")
 	fs.IntVar(&opts.Workers, "parallel", 0, "worker goroutines per campaign (0 = GOMAXPROCS)")
 	fs.StringVar(&opts.CacheDir, "cache", "", "result cache directory (default: the per-user cache dir)")
 	fs.BoolVar(&opts.NoCache, "no-cache", false, "disable the on-disk result cache")
@@ -72,6 +81,16 @@ func realMain(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
+	if *debugAddr != "" {
+		ds := &http.Server{Addr: *debugAddr, Handler: debugHandler()}
+		go func() {
+			fmt.Fprintf(os.Stderr, "locd: debug listening on %s (pprof, metrics)\n", *debugAddr)
+			if err := ds.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("debug server: %w", err)
+			}
+		}()
+		defer ds.Close()
+	}
 	go func() {
 		fmt.Fprintf(os.Stderr, "locd: listening on %s (cache: %s)\n", *addr, orOff(srv.Session().CacheDir()))
 		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -90,6 +109,24 @@ func realMain(args []string) error {
 		defer cancel()
 		return hs.Shutdown(shutdownCtx)
 	}
+}
+
+// debugHandler builds the -debug-addr mux: the standard pprof handlers,
+// registered explicitly (importing net/http/pprof for its side effect would
+// publish them on http.DefaultServeMux, which the job listener must never
+// serve), plus a /metrics alias so one scrape target covers both listeners.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.Default().WritePrometheus(w)
+	})
+	return mux
 }
 
 func orOff(dir string) string {

@@ -41,6 +41,7 @@ import (
 	"resilientloc/internal/engine/coord"
 	enginerun "resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
+	"resilientloc/internal/obs"
 )
 
 // progressWriter receives the streaming trial counters; a variable so tests
@@ -70,11 +71,19 @@ func run(args []string, out io.Writer) error {
 	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed scenario (0 = one per worker; needs -workers)")
 	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
 	progress := fs.Bool("progress", true, "stream per-scenario trial progress to stderr")
+	traceFile := fs.String("trace", "",
+		"write the run's span tree (jobs, engine shards; distributed runs add coordinator ranges) as Chrome trace_event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *progress && !*asJSON {
 		opts.Progress = progressWriter
+	}
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
 	}
 
 	if *list || (*runNames == "" && *suite == "" && *specFile == "") {
@@ -91,7 +100,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *workers != "" {
-		return runDistributed(out, specs, *workers, *ranges, *asJSON, *progress)
+		if err := runDistributed(ctx, out, specs, *workers, *ranges, *asJSON, *progress); err != nil {
+			return err
+		}
+		return writeTrace(tracer, *traceFile)
 	}
 	if *ranges != 0 {
 		return fmt.Errorf("-ranges needs -workers")
@@ -109,7 +121,7 @@ func run(args []string, out io.Writer) error {
 	var firstErr error
 	// Reports stream in suite order as prefixes complete, so output bytes
 	// match sequential execution at any -suite-parallel value.
-	enginerun.ExecuteAll(sess, jobs, func(o enginerun.Outcome) {
+	enginerun.ExecuteAllContext(ctx, sess, jobs, func(o enginerun.Outcome) {
 		if o.Err != nil {
 			if firstErr == nil && !errors.Is(o.Err, enginerun.ErrSkipped) {
 				firstErr = o.Err
@@ -124,6 +136,9 @@ func run(args []string, out io.Writer) error {
 	if firstErr != nil {
 		return firstErr
 	}
+	if err := writeTrace(tracer, *traceFile); err != nil {
+		return err
+	}
 	if *asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -132,19 +147,35 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// writeTrace dumps the tracer's span tree as Chrome trace_event JSON; a nil
+// tracer (no -trace flag) writes nothing.
+func writeTrace(tracer *obs.Tracer, path string) error {
+	if tracer == nil {
+		return nil
+	}
+	if err := tracer.WriteChromeTraceFile(path); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return nil
+}
+
 // runDistributed executes each scenario spec across the locd worker fleet
 // via the trial-range coordinator. Aggregates are byte-identical to the
 // local path; the report's execution metadata describes the coordinated run
 // (distinct workers used, coordination wall time).
-func runDistributed(out io.Writer, specs []spec.JobSpec, workers string, ranges int, asJSON, progress bool) error {
+func runDistributed(ctx context.Context, out io.Writer, specs []spec.JobSpec, workers string, ranges int, asJSON, progress bool) error {
 	urls := coord.ParseWorkers(workers)
 	var reports []*engine.Report
 	for _, sp := range specs {
 		opts := coord.Options{Workers: urls, Ranges: ranges, Warnings: os.Stderr}
+		var sb *coord.Scoreboard
 		if progress && !asJSON {
-			opts.OnProgress = coord.MilestoneProgress(os.Stderr, sp.ID)
+			sb = coord.NewScoreboard(os.Stderr, sp.ID)
+			opts.OnProgress = sb.Progress
+			opts.OnScoreboard = sb.Update
 		}
-		val, _, err := coord.Execute(context.Background(), sp, opts)
+		val, _, err := coord.Execute(ctx, sp, opts)
+		sb.Final()
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.ID, err)
 		}

@@ -30,6 +30,12 @@ func NewBudget(n int) *Budget {
 // Cap returns the number of slots in the budget.
 func (b *Budget) Cap() int { return cap(b.slots) }
 
+// InUse reports how many slots are currently held — an instantaneous
+// saturation reading (InUse == Cap means every worker slot is busy and new
+// shards queue). It is inherently racy against concurrent acquire/release
+// and is meant for health endpoints and scoreboards, not for scheduling.
+func (b *Budget) InUse() int { return len(b.slots) }
+
 // acquire blocks until a slot is free and claims it.
 func (b *Budget) acquire() { b.slots <- struct{}{} }
 

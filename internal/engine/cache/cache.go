@@ -22,6 +22,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"resilientloc/internal/obs"
+)
+
+// Cache telemetry: hit/miss/GC counters plus Get/Put latency histograms,
+// registered on the process-wide registry (served by locd's /metrics).
+var (
+	obsGets      = obs.Default().Counter("cache_get_total")
+	obsHits      = obs.Default().Counter("cache_hit_total")
+	obsMisses    = obs.Default().Counter("cache_miss_total")
+	obsPuts      = obs.Default().Counter("cache_put_total")
+	obsPutErrs   = obs.Default().Counter("cache_put_errors_total")
+	obsGCSweeps  = obs.Default().Counter("cache_gc_sweeps_total")
+	obsGCRemoved = obs.Default().Counter("cache_gc_removed_total")
+	obsGetSec    = obs.Default().Histogram("cache_get_seconds", obs.DefLatencyBuckets)
+	obsPutSec    = obs.Default().Histogram("cache_put_seconds", obs.DefLatencyBuckets)
 )
 
 // Key identifies one deterministic campaign execution.
@@ -132,6 +148,19 @@ func (c *Cache) path(k Key) string {
 // (which must be a pointer). The boolean reports whether a valid entry was
 // found; a missing or unreadable entry is a miss, not an error.
 func (c *Cache) Get(k Key, out any) (bool, error) {
+	start := time.Now()
+	hit, err := c.get(k, out)
+	obsGetSec.Observe(time.Since(start).Seconds())
+	obsGets.Inc()
+	if hit {
+		obsHits.Inc()
+	} else {
+		obsMisses.Inc()
+	}
+	return hit, err
+}
+
+func (c *Cache) get(k Key, out any) (bool, error) {
 	b, err := os.ReadFile(c.path(k))
 	if err != nil {
 		return false, nil
@@ -225,6 +254,8 @@ func (c *Cache) GC(maxAge time.Duration, maxBytes int64) (GCResult, error) {
 		total -= kept[i].size
 	}
 	res.RemainingBytes = total
+	obsGCSweeps.Inc()
+	obsGCRemoved.Add(int64(res.Removed))
 	return res, nil
 }
 
@@ -259,6 +290,17 @@ var putSeq atomic.Uint64
 // concurrent writer of the same key is harmless: both wrote the same
 // deterministic value.
 func (c *Cache) Put(k Key, v any) error {
+	start := time.Now()
+	err := c.put(k, v)
+	obsPutSec.Observe(time.Since(start).Seconds())
+	obsPuts.Inc()
+	if err != nil {
+		obsPutErrs.Inc()
+	}
+	return err
+}
+
+func (c *Cache) put(k Key, v any) error {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("cache: encode value for %s: %w", k.Scenario, err)

@@ -1,6 +1,9 @@
 package engine
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Campaign is the engine's unit of reusable work: "N trials → per-trial
 // measurement → shard-merged aggregate → finalized result". It couples a
@@ -45,11 +48,18 @@ type Campaign[R any] struct {
 // applied — and finalizes the report. The returned Report is the raw
 // shard-merged aggregate backing the result.
 func RunCampaign[R any](r *Runner, c Campaign[R]) (R, *Report, error) {
+	return RunCampaignContext(context.Background(), r, c)
+}
+
+// RunCampaignContext is RunCampaign with an observability context: spans
+// recorded by the engine (engine.run, engine.shard, engine.budget.wait)
+// land in the context's tracer, if any (see Runner.RunContext).
+func RunCampaignContext[R any](ctx context.Context, r *Runner, c Campaign[R]) (R, *Report, error) {
 	var zero R
 	if c.Finalize == nil {
 		return zero, nil, fmt.Errorf("engine: campaign %s has no Finalize", c.Scenario.Name)
 	}
-	rep, err := (&Runner{cfg: c.apply(r.cfg)}).Run(c.Scenario)
+	rep, err := (&Runner{cfg: c.apply(r.cfg)}).RunContext(ctx, c.Scenario)
 	if err != nil {
 		return zero, nil, err
 	}

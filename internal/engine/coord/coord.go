@@ -34,6 +34,19 @@ import (
 
 	"resilientloc/internal/engine"
 	"resilientloc/internal/engine/spec"
+	"resilientloc/internal/obs"
+)
+
+// Coordinator telemetry: fleet-level counters for the range lifecycle. A
+// range completes exactly once (coord_ranges_total); extra submissions show
+// up as retries (worker failed) or hedges (worker stalled), and a hedge that
+// loses the completion race increments coord_dedup_losses_total — the cost
+// of the hedging policy, distinct from its benefit.
+var (
+	obsRanges    = obs.Default().Counter("coord_ranges_total")
+	obsRetries   = obs.Default().Counter("coord_retries_total")
+	obsHedges    = obs.Default().Counter("coord_hedges_total")
+	obsDedupLoss = obs.Default().Counter("coord_dedup_losses_total")
 )
 
 // DefaultStallTimeout is how long a range may go without any event-stream
@@ -68,8 +81,31 @@ type Options struct {
 	// counter across all ranges. Calls are serialized; done is
 	// non-decreasing.
 	OnProgress func(done, total int)
+	// OnScoreboard, when non-nil, receives a fresh per-worker scoreboard
+	// snapshot whenever a range completes or an attempt is retried or
+	// hedged. Calls are serialized; the slice is the callback's to keep.
+	OnScoreboard func([]WorkerScore)
 	// Warnings receives retry/hedge diagnostics; nil means os.Stderr.
 	Warnings io.Writer
+}
+
+// WorkerScore is one worker's row in the fleet scoreboard.
+type WorkerScore struct {
+	// Worker is the locd base URL.
+	Worker string
+	// Ranges counts the ranges this worker won (its result was merged).
+	Ranges int
+	// Trials is the total trial count of those won ranges.
+	Trials int
+	// Retries counts attempts on this worker that failed and were retried
+	// elsewhere.
+	Retries int
+	// Hedges counts attempts on this worker that stalled long enough for the
+	// coordinator to hedge the range onto another worker.
+	Hedges int
+	// TrialsPerSec is Trials divided by the worker's cumulative winning-
+	// attempt wall time; 0 until the worker wins a range.
+	TrialsPerSec float64
 }
 
 // Stats summarizes one coordinated execution.
@@ -81,6 +117,14 @@ type Stats struct {
 	// Retries counts extra submissions beyond one per range (failures
 	// retried plus stalls hedged).
 	Retries int
+	// Hedges counts the subset of Retries caused by stall hedging: the
+	// original attempt was still running (just silent) when a duplicate was
+	// launched.
+	Hedges int
+	// DedupLosses counts duplicate attempts whose work was discarded because
+	// a sibling attempt won the range first — the duplicated work hedging
+	// paid for. Always 0 without hedges.
+	DedupLosses int
 	// Workers is how many distinct workers completed at least one range.
 	Workers int
 }
@@ -102,6 +146,13 @@ func Execute(ctx context.Context, sp spec.JobSpec, opts Options) (*spec.Value, S
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	ctx, jobSpan := obs.Start(ctx, "coord.job")
+	if jobSpan != nil {
+		jobSpan.SetAttr("job", sp.Hash()).SetAttr("scenario", job.Campaign.Scenario.Name).
+			SetAttr("trials", job.TotalTrials).SetAttr("ranges", len(c.ranges)).
+			SetAttr("workers", len(c.workers))
+	}
+	defer jobSpan.End()
 	val, err := c.run(ctx)
 	if err != nil {
 		return nil, c.stats(), err
@@ -176,11 +227,29 @@ type coordinator struct {
 	onProg  func(done, total int)
 	warn    io.Writer
 
+	onScore func([]WorkerScore)
+
 	mu          sync.Mutex
 	rangeDone   []int
 	parts       []*spec.Value
 	retries     int
+	hedges      int
+	dedupLosses int
 	workersUsed map[string]bool
+	scores      map[string]*workerTally
+
+	// scoreMu serializes OnScoreboard invocations outside c.mu, so a slow
+	// renderer never blocks range completions.
+	scoreMu sync.Mutex
+}
+
+// workerTally is the mutable accumulator behind one WorkerScore row.
+type workerTally struct {
+	ranges  int
+	trials  int
+	retries int
+	hedges  int
+	busy    time.Duration // wall time of winning attempts
 }
 
 func newCoordinator(job spec.Resolved, opts Options) (*coordinator, error) {
@@ -233,21 +302,67 @@ func newCoordinator(job spec.Resolved, opts Options) (*coordinator, error) {
 		stall:       stall,
 		maxTry:      maxTry,
 		onProg:      opts.OnProgress,
+		onScore:     opts.OnScoreboard,
 		warn:        warn,
 		rangeDone:   make([]int, len(ranges)),
 		parts:       make([]*spec.Value, len(ranges)),
 		workersUsed: make(map[string]bool),
+		scores:      make(map[string]*workerTally),
 	}, nil
+}
+
+// tallyLocked returns the worker's score accumulator; the caller holds c.mu.
+func (c *coordinator) tallyLocked(worker string) *workerTally {
+	t, ok := c.scores[worker]
+	if !ok {
+		t = &workerTally{}
+		c.scores[worker] = t
+	}
+	return t
+}
+
+// Scoreboard snapshots the per-worker fleet scoreboard in the coordinator's
+// worker order (workers with no activity yet included, all-zero).
+func (c *coordinator) scoreboard() []WorkerScore {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerScore, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = WorkerScore{Worker: w}
+		if t, ok := c.scores[w]; ok {
+			out[i].Ranges = t.ranges
+			out[i].Trials = t.trials
+			out[i].Retries = t.retries
+			out[i].Hedges = t.hedges
+			if secs := t.busy.Seconds(); secs > 0 {
+				out[i].TrialsPerSec = float64(t.trials) / secs
+			}
+		}
+	}
+	return out
+}
+
+// notifyScore pushes a fresh scoreboard snapshot to the OnScoreboard hook.
+func (c *coordinator) notifyScore() {
+	if c.onScore == nil {
+		return
+	}
+	sb := c.scoreboard()
+	c.scoreMu.Lock()
+	c.onScore(sb)
+	c.scoreMu.Unlock()
 }
 
 func (c *coordinator) stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Trials:  c.job.TotalTrials,
-		Ranges:  len(c.ranges),
-		Retries: c.retries,
-		Workers: len(c.workersUsed),
+		Trials:      c.job.TotalTrials,
+		Ranges:      len(c.ranges),
+		Retries:     c.retries,
+		Hedges:      c.hedges,
+		DedupLosses: c.dedupLosses,
+		Workers:     len(c.workersUsed),
 	}
 }
 
@@ -314,14 +429,21 @@ func (c *coordinator) run(ctx context.Context) (*spec.Value, error) {
 }
 
 // complete records a range result; the first completion wins (a hedged
-// duplicate delivers identical bytes and is dropped).
-func (c *coordinator) complete(i int, val *spec.Value, worker string) {
+// duplicate delivers identical bytes and is dropped as a dedup loss). The
+// report says whether this completion won, and dur is the winning attempt's
+// wall time, credited to the worker's throughput score.
+func (c *coordinator) complete(i int, val *spec.Value, worker string, dur time.Duration) bool {
 	rg := c.ranges[i]
 	c.mu.Lock()
-	if c.parts[i] == nil {
+	won := c.parts[i] == nil
+	if won {
 		c.parts[i] = val
 		c.workersUsed[worker] = true
 		c.rangeDone[i] = rg.Hi - rg.Lo
+		t := c.tallyLocked(worker)
+		t.ranges++
+		t.trials += rg.Hi - rg.Lo
+		t.busy += dur
 		if c.onProg != nil {
 			done := 0
 			for _, d := range c.rangeDone {
@@ -329,8 +451,26 @@ func (c *coordinator) complete(i int, val *spec.Value, worker string) {
 			}
 			c.onProg(done, c.job.TotalTrials)
 		}
+	} else {
+		c.dedupLosses++
 	}
 	c.mu.Unlock()
+	if won {
+		obsRanges.Inc()
+	} else {
+		obsDedupLoss.Inc()
+	}
+	c.notifyScore()
+	return won
+}
+
+// addDedupLosses records n duplicate attempts abandoned because a sibling
+// won the range first.
+func (c *coordinator) addDedupLosses(n int) {
+	c.mu.Lock()
+	c.dedupLosses += n
+	c.mu.Unlock()
+	obsDedupLoss.Add(int64(n))
 }
 
 // progress records a range's trial counter from its event stream.
@@ -354,6 +494,11 @@ func (c *coordinator) progress(i, done int) {
 // attempt racing — on the least-tried surviving worker, up to the attempt
 // budget.
 func (c *coordinator) runRange(ctx context.Context, i int) error {
+	ctx, rangeSpan := obs.Start(ctx, "coord.range")
+	if rangeSpan != nil {
+		rangeSpan.SetAttr("range", i).SetAttr("lo", c.ranges[i].Lo).SetAttr("hi", c.ranges[i].Hi)
+	}
+	defer rangeSpan.End()
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	sub := c.subSpec(i)
@@ -361,8 +506,10 @@ func (c *coordinator) runRange(ctx context.Context, i int) error {
 
 	type result struct {
 		val    *spec.Value
+		trace  []obs.SpanRecord
 		err    error
 		worker string
+		dur    time.Duration
 	}
 	results := make(chan result)
 	stalls := make(chan string)
@@ -371,13 +518,28 @@ func (c *coordinator) runRange(ctx context.Context, i int) error {
 
 	launch := func() {
 		worker := c.pickWorker(i, attempts, tried)
+		attempt := attempts
 		attempts++
 		tried[worker]++
 		pending++
 		go func() {
-			val, err := c.runAttempt(rctx, worker, sub, i, stalls)
+			_, span := obs.Start(rctx, "coord.attempt")
+			if span != nil {
+				span.SetAttr("worker", worker).SetAttr("attempt", attempt)
+			}
+			start := time.Now()
+			val, trace, err := c.runAttempt(rctx, worker, sub, i, stalls)
+			dur := time.Since(start)
+			if span != nil {
+				if err != nil {
+					span.SetAttr("outcome", "error").SetAttr("error", err.Error())
+				} else {
+					span.SetAttr("outcome", "ok")
+				}
+			}
+			span.End()
 			select {
-			case results <- result{val, err, worker}:
+			case results <- result{val, trace, err, worker, dur}:
 			case <-rctx.Done():
 			}
 		}()
@@ -402,7 +564,18 @@ func (c *coordinator) runRange(ctx context.Context, i int) error {
 		case r := <-results:
 			pending--
 			if r.err == nil {
-				c.complete(i, r.val, r.worker)
+				if c.complete(i, r.val, r.worker, r.dur) {
+					// Graft the worker's execution timeline (run.job and the
+					// engine spans beneath it) under this range's span.
+					if tr := obs.FromContext(ctx); tr != nil && len(r.trace) > 0 {
+						tr.Import(rangeSpan, r.trace)
+					}
+				}
+				if pending > 0 {
+					// The attempts still racing are now pure duplicates; their
+					// work is discarded when rctx is cancelled below.
+					c.addDedupLosses(pending)
+				}
 				return nil
 			}
 			if errors.Is(r.err, errPermanent) {
@@ -414,7 +587,10 @@ func (c *coordinator) runRange(ctx context.Context, i int) error {
 			lastErr = r.err
 			c.mu.Lock()
 			c.retries++
+			c.tallyLocked(r.worker).retries++
 			c.mu.Unlock()
+			obsRetries.Inc()
+			c.notifyScore()
 			if attempts < c.maxTry {
 				fmt.Fprintf(c.warn, "coord: %s range [%d, %d): worker %s failed (%v); retrying\n",
 					c.job.Spec.ID, rg.Lo, rg.Hi, r.worker, r.err)
@@ -427,7 +603,12 @@ func (c *coordinator) runRange(ctx context.Context, i int) error {
 			if attempts < c.maxTry {
 				c.mu.Lock()
 				c.retries++
+				c.hedges++
+				c.tallyLocked(w).hedges++
 				c.mu.Unlock()
+				obsRetries.Inc()
+				obsHedges.Inc()
+				c.notifyScore()
 				fmt.Fprintf(c.warn, "coord: %s range [%d, %d): worker %s stalled; hedging on another worker\n",
 					c.job.Spec.ID, rg.Lo, rg.Hi, w)
 				launch()
@@ -477,6 +658,9 @@ type wireJob struct {
 	Error      string      `json:"error"`
 	Skipped    bool        `json:"skipped"`
 	Result     *spec.Value `json:"result"`
+	// Trace is the worker-side span subtree for the job (run.job plus the
+	// engine spans beneath it), grafted under the range's span on success.
+	Trace []obs.SpanRecord `json:"trace"`
 }
 
 type wireEvent struct {
@@ -488,14 +672,15 @@ type wireEvent struct {
 	Skipped bool   `json:"skipped"`
 }
 
-// runAttempt submits the sub-job to one worker and follows it to a result.
-// Any transport error, HTTP error, or job failure is returned for the
-// controller to retry elsewhere; a stall is signaled on stalls while the
-// attempt keeps waiting (hedging).
-func (c *coordinator) runAttempt(ctx context.Context, worker string, sub spec.JobSpec, rangeIdx int, stalls chan<- string) (*spec.Value, error) {
+// runAttempt submits the sub-job to one worker and follows it to a result
+// (plus the worker's span subtree for the job, when it recorded one). Any
+// transport error, HTTP error, or job failure is returned for the controller
+// to retry elsewhere; a stall is signaled on stalls while the attempt keeps
+// waiting (hedging).
+func (c *coordinator) runAttempt(ctx context.Context, worker string, sub spec.JobSpec, rangeIdx int, stalls chan<- string) (*spec.Value, []obs.SpanRecord, error) {
 	js, err := c.submit(ctx, worker, sub)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for {
 		switch js.Status {
@@ -505,11 +690,11 @@ func (c *coordinator) runAttempt(ctx context.Context, worker string, sub spec.Jo
 			if js.Skipped {
 				// A batch sibling's failure; resubmission retries it fresh.
 				if js, err = c.submit(ctx, worker, sub); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				continue
 			}
-			return nil, fmt.Errorf("%w on %s: %s", errPermanent, worker, js.Error)
+			return nil, nil, fmt.Errorf("%w on %s: %s", errPermanent, worker, js.Error)
 		}
 		ev, err := c.watchEvents(ctx, worker, js.ID, rangeIdx, stalls)
 		if err != nil {
@@ -517,10 +702,10 @@ func (c *coordinator) runAttempt(ctx context.Context, worker string, sub spec.Jo
 			// finished job from a dead worker before giving the attempt up.
 			polled, perr := c.getJob(ctx, worker, js.ID)
 			if perr != nil {
-				return nil, fmt.Errorf("%v (poll: %v)", err, perr)
+				return nil, nil, fmt.Errorf("%v (poll: %v)", err, perr)
 			}
 			if polled.Status == "running" {
-				return nil, err
+				return nil, nil, err
 			}
 			js = polled
 			continue
@@ -529,42 +714,43 @@ func (c *coordinator) runAttempt(ctx context.Context, worker string, sub spec.Jo
 		case "done":
 			full, err := c.getJob(ctx, worker, js.ID)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			return c.takeResult(ctx, worker, full)
 		case "failed":
 			if ev.Skipped {
 				if js, err = c.submit(ctx, worker, sub); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				continue
 			}
-			return nil, fmt.Errorf("%w on %s: %s", errPermanent, worker, ev.Error)
+			return nil, nil, fmt.Errorf("%w on %s: %s", errPermanent, worker, ev.Error)
 		default:
-			return nil, fmt.Errorf("worker %s: unexpected terminal event status %q", worker, ev.Status)
+			return nil, nil, fmt.Errorf("worker %s: unexpected terminal event status %q", worker, ev.Status)
 		}
 	}
 }
 
 // takeResult validates the finished job's result shape for this execution
-// (a partial for range sub-jobs, a finalized value otherwise).
-func (c *coordinator) takeResult(ctx context.Context, worker string, js *wireJob) (*spec.Value, error) {
+// (a partial for range sub-jobs, a finalized value otherwise) and carries
+// the worker's recorded span subtree along with it.
+func (c *coordinator) takeResult(ctx context.Context, worker string, js *wireJob) (*spec.Value, []obs.SpanRecord, error) {
 	if js.Result == nil {
 		// A done job answered without its result (e.g. submit-time summary);
 		// fetch the full record.
 		full, err := c.getJob(ctx, worker, js.ID)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		js = full
 		if js.Result == nil {
-			return nil, fmt.Errorf("worker %s: done job %s carries no result", worker, js.ID)
+			return nil, nil, fmt.Errorf("worker %s: done job %s carries no result", worker, js.ID)
 		}
 	}
 	if len(c.ranges) > 1 && js.Result.Partial == nil {
-		return nil, fmt.Errorf("worker %s: range sub-job %s returned no partial aggregate", worker, js.ID)
+		return nil, nil, fmt.Errorf("worker %s: range sub-job %s returned no partial aggregate", worker, js.ID)
 	}
-	return js.Result, nil
+	return js.Result, js.Trace, nil
 }
 
 // submit POSTs the sub-job and returns its (possibly already finished)

@@ -18,6 +18,7 @@ import (
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
 	"resilientloc/internal/locsrv"
+	"resilientloc/internal/obs"
 )
 
 // newWorker stands up a real locd service (internal/locsrv) and returns its
@@ -377,4 +378,123 @@ func TestExecuteValidation(t *testing.T) {
 		coord.Options{Workers: []string{"http://127.0.0.1:1"}}); err == nil {
 		t.Error("unknown job accepted")
 	}
+}
+
+// TestCoordinatorTraceAndScoreboard: under tracing, one coordinated run
+// exports spans from all three layers — coordinator ranges and attempts,
+// each winning worker's run.job grafted beneath its range, and the engine
+// shard spans beneath that — and the scoreboard snapshots attribute every
+// range and trial to a worker.
+func TestCoordinatorTraceAndScoreboard(t *testing.T) {
+	workers := []string{newWorker(t, run.Options{NoCache: true}), newWorker(t, run.Options{NoCache: true})}
+	sp := spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 1, Trials: 8, ShardSize: 2}
+
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	var last []coord.WorkerScore
+	val, st, err := coord.Execute(ctx, sp, coord.Options{
+		Workers: workers, Ranges: 4, Warnings: io.Discard,
+		OnScoreboard: func(ws []coord.WorkerScore) { last = ws },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.Report == nil {
+		t.Fatalf("no report in %+v", val)
+	}
+
+	recs := tr.Export()
+	byID := make(map[int64]obs.SpanRecord, len(recs))
+	counts := make(map[string]int)
+	for _, r := range recs {
+		byID[r.ID] = r
+		counts[r.Name]++
+	}
+	for _, name := range []string{"coord.job", "coord.range", "coord.attempt", "run.job", "engine.run", "engine.shard"} {
+		if counts[name] == 0 {
+			t.Errorf("trace lacks any %q span (have %v)", name, counts)
+		}
+	}
+	if counts["coord.range"] != st.Ranges {
+		t.Errorf("%d coord.range spans, want %d", counts["coord.range"], st.Ranges)
+	}
+	if counts["run.job"] != st.Ranges {
+		t.Errorf("%d grafted run.job spans, want one per range (%d)", counts["run.job"], st.Ranges)
+	}
+	// Parentage across the graft points: worker jobs hang off coordinator
+	// ranges, engine runs off worker jobs.
+	for _, r := range recs {
+		switch r.Name {
+		case "run.job":
+			if byID[r.Parent].Name != "coord.range" {
+				t.Errorf("run.job parent is %q, want coord.range", byID[r.Parent].Name)
+			}
+		case "engine.run":
+			if byID[r.Parent].Name != "run.job" {
+				t.Errorf("engine.run parent is %q, want run.job", byID[r.Parent].Name)
+			}
+		case "engine.shard":
+			if byID[r.Parent].Name != "engine.run" {
+				t.Errorf("engine.shard parent is %q, want engine.run", byID[r.Parent].Name)
+			}
+		}
+	}
+
+	// Scoreboard: the final snapshot accounts for every range and trial.
+	if len(last) != len(workers) {
+		t.Fatalf("scoreboard has %d rows, want %d", len(last), len(workers))
+	}
+	var ranges, trials int
+	for _, ws := range last {
+		ranges += ws.Ranges
+		trials += ws.Trials
+		if ws.Ranges > 0 && ws.TrialsPerSec <= 0 {
+			t.Errorf("worker %s won %d ranges but reports %g trials/s", ws.Worker, ws.Ranges, ws.TrialsPerSec)
+		}
+	}
+	if ranges != st.Ranges || trials != st.Trials {
+		t.Errorf("scoreboard totals %d ranges / %d trials, want %d / %d", ranges, trials, st.Ranges, st.Trials)
+	}
+	if st.Hedges != 0 || st.DedupLosses != 0 {
+		t.Errorf("healthy fleet recorded hedges=%d dedupLosses=%d, want 0/0", st.Hedges, st.DedupLosses)
+	}
+}
+
+// TestScoreboardNonTTY: on a non-terminal writer the scoreboard emits
+// quarter-milestone progress lines while live and per-worker summary rows
+// at Final — never ANSI control sequences.
+func TestScoreboardNonTTY(t *testing.T) {
+	var buf strings.Builder
+	sb := coord.NewScoreboard(&buf, "fig06")
+	sb.Progress(0, 8)
+	sb.Progress(4, 8)
+	sb.Update([]coord.WorkerScore{
+		{Worker: "http://w1", Ranges: 2, Trials: 6, TrialsPerSec: 12.5, Hedges: 1},
+		{Worker: "http://w2"},
+	})
+	sb.Progress(8, 8)
+	sb.Final()
+	sb.Final() // idempotent
+	out := buf.String()
+	if strings.Contains(out, "\x1b[") {
+		t.Errorf("non-TTY scoreboard emitted ANSI control sequences:\n%q", out)
+	}
+	for _, want := range []string{"fig06: 4/8 trials", "fig06: 8/8 trials",
+		"worker http://w1: ranges=2 trials=6 trials/s=12.5 retries=0 hedges=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scoreboard output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "http://w2") {
+		t.Errorf("idle worker should not get a summary row:\n%s", out)
+	}
+	if n := strings.Count(out, "http://w1"); n != 1 {
+		t.Errorf("Final printed the w1 summary %d times, want once", n)
+	}
+
+	// A nil scoreboard (progress off) must be a safe no-op.
+	var nilSB *coord.Scoreboard
+	nilSB.Progress(1, 2)
+	nilSB.Update(nil)
+	nilSB.Final()
 }

@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
+	"resilientloc/internal/obs"
 	"resilientloc/internal/stats"
 )
 
@@ -142,6 +145,14 @@ func shardBounds(si, shardSize, trials int) (lo, hi int) {
 // dropping them (in practice only single-trial campaigns keep outputs, and
 // a coordinator never splits a single trial).
 func (r *Runner) RunPartial(s Scenario, lo, hi int) (*Partial, error) {
+	return r.RunPartialContext(context.Background(), s, lo, hi)
+}
+
+// RunPartialContext is RunPartial with an observability context: under
+// tracing it records an engine.run span whose engine.shard children are the
+// range's shard pieces (complete pieces and raw boundary fragments alike).
+// Like RunContext, the context carries telemetry only — it does not cancel.
+func (r *Runner) RunPartialContext(ctx context.Context, s Scenario, lo, hi int) (*Partial, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,35 +173,57 @@ func (r *Runner) RunPartial(s Scenario, lo, hi int) (*Partial, error) {
 		Lo: lo, Hi: hi, Retained: keep,
 		Pieces: make([]ShardPiece, len(bounds)),
 	}
+	ctx, runSpan := obs.Start(ctx, "engine.run")
+	if runSpan != nil {
+		runSpan.SetAttr("scenario", s.Name).SetAttr("trials", trials).
+			SetAttr("shard_size", shardSize).SetAttr("lo", lo).SetAttr("hi", hi)
+	}
+	defer runSpan.End()
+
 	type pieceErr struct {
 		err   error
 		trial int
 	}
 	errs := make([]pieceErr, len(bounds))
-	r.runPool(len(bounds), hi-lo, func(pi int) int {
+	r.runPool(ctx, len(bounds), hi-lo, func(pi int) int {
 		si, pLo, pHi := bounds[pi][0], bounds[pi][1], bounds[pi][2]
 		sLo, sHi := shardBounds(si, shardSize, trials)
-		if pLo == sLo && pHi == sHi {
-			agg := runShard(s, r.cfg.Seed, pLo, pHi, keep)
-			if agg.err != nil {
-				errs[pi] = pieceErr{agg.err, agg.errTrial}
-				return agg.errTrial - pLo
-			}
-			piece, err := aggToPiece(si, agg, keep)
-			if err != nil {
-				errs[pi] = pieceErr{err, pLo}
+		_, shardSpan := obs.Start(ctx, "engine.shard")
+		if shardSpan != nil {
+			shardSpan.SetAttr("shard", si).SetAttr("lo", pLo).SetAttr("hi", pHi)
+		}
+		pieceStart := time.Now()
+		completed := func() int {
+			if pLo == sLo && pHi == sHi {
+				agg := runShard(s, r.cfg.Seed, pLo, pHi, keep)
+				if agg.err != nil {
+					errs[pi] = pieceErr{agg.err, agg.errTrial}
+					return agg.errTrial - pLo
+				}
+				piece, err := aggToPiece(si, agg, keep)
+				if err != nil {
+					errs[pi] = pieceErr{err, pLo}
+					return pHi - pLo
+				}
+				p.Pieces[pi] = piece
 				return pHi - pLo
+			}
+			piece, failTrial, err := runRawPiece(s, r.cfg.Seed, si, pLo, pHi)
+			if err != nil {
+				errs[pi] = pieceErr{err, failTrial}
+				return failTrial - pLo
 			}
 			p.Pieces[pi] = piece
 			return pHi - pLo
+		}()
+		obsShardSec.Observe(time.Since(pieceStart).Seconds())
+		obsShards.Inc()
+		obsTrials.Add(int64(completed))
+		if shardSpan != nil && errs[pi].err != nil {
+			shardSpan.SetAttr("error", errs[pi].err.Error())
 		}
-		piece, failTrial, err := runRawPiece(s, r.cfg.Seed, si, pLo, pHi)
-		if err != nil {
-			errs[pi] = pieceErr{err, failTrial}
-			return failTrial - pLo
-		}
-		p.Pieces[pi] = piece
-		return pHi - pLo
+		shardSpan.End()
+		return completed
 	})
 	var firstErr error
 	firstTrial := -1
@@ -206,9 +239,10 @@ func (r *Runner) RunPartial(s Scenario, lo, hi int) (*Partial, error) {
 }
 
 // runPool executes n piece jobs across the runner's worker pool, observing
-// the shared budget and reporting progress against total trials (each job
-// returns its completed trial count).
-func (r *Runner) runPool(n, total int, job func(i int) int) {
+// the shared budget (budget waits are measured; see acquireBudget) and
+// reporting progress against total trials (each job returns its completed
+// trial count).
+func (r *Runner) runPool(ctx context.Context, n, total int, job func(i int) int) {
 	workers := r.cfg.Workers
 	if workers <= 0 {
 		workers = defaultWorkers()
@@ -217,8 +251,8 @@ func (r *Runner) runPool(n, total int, job func(i int) int) {
 		workers = n
 	}
 	runIndexed(workers, n, total, func(i int) int {
+		r.acquireBudget(ctx)
 		if r.cfg.Budget != nil {
-			r.cfg.Budget.acquire()
 			defer r.cfg.Budget.release()
 		}
 		return job(i)
@@ -480,7 +514,13 @@ func MergePartials(parts []*Partial) (*Report, error) {
 // Finalize does not run: it needs the full merged Report, which only the
 // merging side holds.
 func RunCampaignPartial[R any](r *Runner, c Campaign[R], lo, hi int) (*Partial, error) {
-	return (&Runner{cfg: c.apply(r.cfg)}).RunPartial(c.Scenario, lo, hi)
+	return RunCampaignPartialContext(context.Background(), r, c, lo, hi)
+}
+
+// RunCampaignPartialContext is RunCampaignPartial with an observability
+// context (see Runner.RunPartialContext).
+func RunCampaignPartialContext[R any](ctx context.Context, r *Runner, c Campaign[R], lo, hi int) (*Partial, error) {
+	return (&Runner{cfg: c.apply(r.cfg)}).RunPartialContext(ctx, c.Scenario, lo, hi)
 }
 
 // FinalizeCampaign runs the campaign's Finalize step over an

@@ -23,6 +23,7 @@
 package run
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,6 +40,19 @@ import (
 	"resilientloc/internal/engine"
 	"resilientloc/internal/engine/cache"
 	"resilientloc/internal/engine/spec"
+	"resilientloc/internal/obs"
+)
+
+// Run-layer telemetry: job counters, queue/in-flight gauges (the health
+// endpoint's backpressure signals), and per-job wall-time. Spans (run.queued,
+// run.job) record only when the caller's context carries a tracer.
+var (
+	obsJobs       = obs.Default().Counter("run_jobs_total")
+	obsJobsCached = obs.Default().Counter("run_jobs_cached_total")
+	obsJobsFailed = obs.Default().Counter("run_jobs_failed_total")
+	obsQueued     = obs.Default().Gauge("run_jobs_queued")
+	obsInflight   = obs.Default().Gauge("run_jobs_inflight")
+	obsJobSec     = obs.Default().Histogram("run_job_seconds", obs.DefLatencyBuckets)
 )
 
 // Opportunistic cache-GC policy: at most one sweep per hour per directory,
@@ -343,19 +357,52 @@ func (s *Session) progressCallback(name, jobID string) func(done, total int) {
 // reports zero workers and its own lookup time, never the populating run's.
 // Safe for concurrent calls on one session.
 func ExecuteSpec(s *Session, sp spec.JobSpec) (*spec.Value, Info, error) {
+	return ExecuteSpecContext(context.Background(), s, sp)
+}
+
+// ExecuteSpecContext is ExecuteSpec with an observability context: the job's
+// run.job span — and the engine spans beneath it — land in the context's
+// tracer, if any. The context never cancels execution.
+func ExecuteSpecContext(ctx context.Context, s *Session, sp spec.JobSpec) (*spec.Value, Info, error) {
 	job, err := spec.Resolve(sp)
 	if err != nil {
 		return nil, Info{}, err
 	}
-	return ExecuteResolved(s, job)
+	return ExecuteResolvedContext(ctx, s, job)
 }
 
 // ExecuteResolved executes one already-resolved job; see ExecuteSpec.
 func ExecuteResolved(s *Session, job spec.Resolved) (*spec.Value, Info, error) {
+	return ExecuteResolvedContext(context.Background(), s, job)
+}
+
+// ExecuteResolvedContext is ExecuteResolved with an observability context;
+// see ExecuteSpecContext.
+func ExecuteResolvedContext(ctx context.Context, s *Session, job spec.Resolved) (*spec.Value, Info, error) {
+	obsInflight.Add(1)
+	defer obsInflight.Add(-1)
+	res, info, err := executeResolved(ctx, s, job)
+	obsJobs.Inc()
+	obsJobSec.Observe(info.Elapsed.Seconds())
+	switch {
+	case err != nil:
+		obsJobsFailed.Inc()
+	case info.Cached:
+		obsJobsCached.Inc()
+	}
+	return res, info, err
+}
+
+func executeResolved(ctx context.Context, s *Session, job spec.Resolved) (*spec.Value, Info, error) {
 	start := time.Now()
 	c := job.Campaign
 	name := c.Scenario.Name
 	jobID := job.Spec.Hash()
+	ctx, jobSpan := obs.Start(ctx, "run.job")
+	if jobSpan != nil {
+		jobSpan.SetAttr("job", jobID).SetAttr("scenario", name).SetAttr("kind", job.Spec.Kind)
+	}
+	defer jobSpan.End()
 	runner, err := engine.NewRunner(engine.Config{
 		Workers:   s.opts.Workers,
 		Trials:    job.Spec.Trials,
@@ -428,13 +475,19 @@ func ExecuteResolved(s *Session, job spec.Resolved) (*spec.Value, Info, error) {
 			hit = false
 		}
 		if hit {
+			if jobSpan != nil {
+				jobSpan.SetAttr("cached", true)
+			}
 			res.SetExecutionMeta(0, time.Since(start).Seconds())
 			return &res, Info{Cached: true, Trials: runTrials, Elapsed: time.Since(start), CacheKey: keyHash}, nil
 		}
 	}
 	var res *spec.Value
 	if rng != nil {
-		partial, err := engine.RunCampaignPartial(runner, c, rng.Lo, rng.Hi)
+		if jobSpan != nil {
+			jobSpan.SetAttr("range_lo", rng.Lo).SetAttr("range_hi", rng.Hi)
+		}
+		partial, err := engine.RunCampaignPartialContext(ctx, runner, c, rng.Lo, rng.Hi)
 		if err != nil {
 			return nil, Info{}, err
 		}
@@ -448,7 +501,7 @@ func ExecuteResolved(s *Session, job spec.Resolved) (*spec.Value, Info, error) {
 		return res, Info{Trials: runTrials, Elapsed: time.Since(start), CacheKey: keyHash}, nil
 	}
 	var rep *engine.Report
-	res, rep, err = engine.RunCampaign(runner, c)
+	res, rep, err = engine.RunCampaignContext(ctx, runner, c)
 	if err != nil {
 		return nil, Info{}, err
 	}
@@ -520,7 +573,14 @@ func dispatchOrder(jobs []spec.Resolved) []int {
 // progress block is suspended so the callback can print without the next
 // repaint erasing its output.
 func ExecuteAll(s *Session, jobs []spec.Resolved, onDone func(Outcome)) []Outcome {
-	return executeAll(s, jobs, onDone, true)
+	return executeAll(context.Background(), s, jobs, onDone, true)
+}
+
+// ExecuteAllContext is ExecuteAll with an observability context: each job
+// records a run.queued span (submission to dispatch) and a run.job span (the
+// execution itself) in the context's tracer, if any.
+func ExecuteAllContext(ctx context.Context, s *Session, jobs []spec.Resolved, onDone func(Outcome)) []Outcome {
+	return executeAll(ctx, s, jobs, onDone, true)
 }
 
 // ExecuteAllUnordered is ExecuteAll with per-job completion latency instead
@@ -530,16 +590,41 @@ func ExecuteAll(s *Session, jobs []spec.Resolved, onDone func(Outcome)) []Outcom
 // held hostage by a long-running sibling; CLIs that stream suite output
 // keep ExecuteAll's ordered emission.
 func ExecuteAllUnordered(s *Session, jobs []spec.Resolved, onDone func(Outcome)) []Outcome {
-	return executeAll(s, jobs, onDone, false)
+	return executeAll(context.Background(), s, jobs, onDone, false)
 }
 
-func executeAll(s *Session, jobs []spec.Resolved, onDone func(Outcome), ordered bool) []Outcome {
+// ExecuteAllUnorderedContext is ExecuteAllUnordered with an observability
+// context; see ExecuteAllContext.
+func ExecuteAllUnorderedContext(ctx context.Context, s *Session, jobs []spec.Resolved, onDone func(Outcome)) []Outcome {
+	return executeAll(ctx, s, jobs, onDone, false)
+}
+
+func executeAll(ctx context.Context, s *Session, jobs []spec.Resolved, onDone func(Outcome), ordered bool) []Outcome {
 	overlap := s.opts.SuiteParallel
 	if overlap <= 0 {
 		overlap = runtime.GOMAXPROCS(0)
 	}
 	if overlap > len(jobs) {
 		overlap = len(jobs)
+	}
+	// Every submitted job is queued until the scheduler dispatches it (or
+	// marks it skipped): run_jobs_queued is the health endpoint's queue-depth
+	// reading, and each job's run.queued span records its time in line.
+	queued := make([]*obs.Span, len(jobs))
+	for i := range jobs {
+		_, qs := obs.Start(ctx, "run.queued")
+		if qs != nil {
+			qs.SetAttr("job", jobs[i].Spec.Hash()).SetAttr("name", jobs[i].Spec.ID)
+		}
+		queued[i] = qs
+	}
+	obsQueued.Add(int64(len(jobs)))
+	dequeue := func(i int, skipped bool) {
+		if queued[i] != nil && skipped {
+			queued[i].SetAttr("skipped", true)
+		}
+		queued[i].End()
+		obsQueued.Add(-1)
 	}
 	outcomes := make([]Outcome, len(jobs))
 	report := func(o Outcome) {
@@ -557,9 +642,11 @@ func executeAll(s *Session, jobs []spec.Resolved, onDone func(Outcome), ordered 
 				// Fail-fast, but still give every job its outcome — a
 				// service keyed on per-job completion must never see a job
 				// silently dropped from its batch.
+				dequeue(i, true)
 				outcomes[i] = Outcome{Spec: j.Spec, Err: ErrSkipped}
 			} else {
-				outcomes[i] = runResolved(s, j)
+				dequeue(i, false)
+				outcomes[i] = runResolved(ctx, s, j)
 				failedSeq = outcomes[i].Err != nil
 			}
 			report(outcomes[i])
@@ -595,9 +682,13 @@ func executeAll(s *Session, jobs []spec.Resolved, onDone func(Outcome), ordered 
 				// Re-check on receipt: the dispatcher may have been blocked
 				// handing this index over while another job failed.
 				if failed.Load() {
+					dequeue(i, true)
 					outcomes[i] = Outcome{Spec: jobs[i].Spec, Err: ErrSkipped}
-				} else if outcomes[i] = runResolved(s, jobs[i]); outcomes[i].Err != nil {
-					failed.Store(true)
+				} else {
+					dequeue(i, false)
+					if outcomes[i] = runResolved(ctx, s, jobs[i]); outcomes[i].Err != nil {
+						failed.Store(true)
+					}
 				}
 				emit(i)
 			}
@@ -613,6 +704,7 @@ func executeAll(s *Session, jobs []spec.Resolved, onDone func(Outcome), ordered 
 			// ErrSkipped documents that consumers must not treat it as the
 			// suite's genuine failure.
 			for _, i := range order[k:] {
+				dequeue(i, true)
 				outcomes[i] = Outcome{Spec: jobs[i].Spec, Err: ErrSkipped}
 				emit(i)
 			}
@@ -625,7 +717,7 @@ func executeAll(s *Session, jobs []spec.Resolved, onDone func(Outcome), ordered 
 	return outcomes
 }
 
-func runResolved(s *Session, j spec.Resolved) Outcome {
-	res, info, err := ExecuteResolved(s, j)
+func runResolved(ctx context.Context, s *Session, j spec.Resolved) Outcome {
+	res, info, err := ExecuteResolvedContext(ctx, s, j)
 	return Outcome{Spec: j.Spec, Result: res, Info: info, Err: err}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -9,7 +10,19 @@ import (
 	"sync"
 	"time"
 
+	"resilientloc/internal/obs"
 	"resilientloc/internal/stats"
+)
+
+// Engine telemetry. Handles are resolved once at init so the per-shard hot
+// path touches only atomics; spans cost nothing unless the caller's context
+// carries a tracer (obs.Start returns nil then). None of it touches the
+// result path, so golden outputs are byte-identical with telemetry on.
+var (
+	obsTrials     = obs.Default().Counter("engine_trials_total")
+	obsShards     = obs.Default().Counter("engine_shards_total")
+	obsShardSec   = obs.Default().Histogram("engine_shard_seconds", obs.DefLatencyBuckets)
+	obsBudgetWait = obs.Default().Histogram("engine_budget_wait_seconds", obs.DefLatencyBuckets)
 )
 
 // DefaultShardSize is the number of consecutive trials aggregated into one
@@ -314,6 +327,16 @@ func newTrialRNG(s Scenario, seed int64, trial int) *rand.Rand {
 // pure function of the configuration. If several trials fail, the error of
 // the lowest-indexed failing trial is returned.
 func (r *Runner) Run(s Scenario) (*Report, error) {
+	return r.RunContext(context.Background(), s)
+}
+
+// RunContext is Run with an observability context: when ctx carries a
+// tracer (obs.WithTracer), the run records an engine.run span with one
+// engine.shard child per shard (plus engine.budget.wait children while
+// blocked on the shared budget). The context does not cancel the run — the
+// engine's determinism contract has no partial-result story for
+// cancellation; it is a telemetry carrier only.
+func (r *Runner) RunContext(ctx context.Context, s Scenario) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -331,6 +354,13 @@ func (r *Runner) Run(s Scenario) (*Report, error) {
 		workers = numShards
 	}
 
+	ctx, runSpan := obs.Start(ctx, "engine.run")
+	if runSpan != nil {
+		runSpan.SetAttr("scenario", s.Name).SetAttr("trials", trials).
+			SetAttr("shard_size", shardSize).SetAttr("workers", workers)
+	}
+	defer runSpan.End()
+
 	start := time.Now()
 	aggs := make([]*shardAgg, numShards)
 	runIndexed(workers, numShards, trials, func(si int) int {
@@ -339,17 +369,30 @@ func (r *Runner) Run(s Scenario) (*Report, error) {
 		if hi > trials {
 			hi = trials
 		}
+		r.acquireBudget(ctx)
 		if r.cfg.Budget != nil {
-			r.cfg.Budget.acquire()
 			defer r.cfg.Budget.release()
 		}
+		_, shardSpan := obs.Start(ctx, "engine.shard")
+		if shardSpan != nil {
+			shardSpan.SetAttr("shard", si).SetAttr("lo", lo).SetAttr("hi", hi)
+		}
+		shardStart := time.Now()
 		aggs[si] = runShard(s, r.cfg.Seed, lo, hi, r.cfg.KeepTrialValues)
+		obsShardSec.Observe(time.Since(shardStart).Seconds())
+		obsShards.Inc()
+		completed := hi - lo
 		if aggs[si].err != nil {
 			// The failing trial and the rest of its shard never completed;
 			// don't over-report.
-			return aggs[si].errTrial - lo
+			completed = aggs[si].errTrial - lo
+			if shardSpan != nil {
+				shardSpan.SetAttr("error", aggs[si].err.Error())
+			}
 		}
-		return hi - lo
+		obsTrials.Add(int64(completed))
+		shardSpan.End()
+		return completed
 	}, r.cfg.Progress)
 
 	if err := firstError(aggs); err != nil {
@@ -362,6 +405,21 @@ func (r *Runner) Run(s Scenario) (*Report, error) {
 	rep.Workers = workers
 	rep.ElapsedSeconds = time.Since(start).Seconds()
 	return rep, nil
+}
+
+// acquireBudget claims one shared-budget slot (when a budget is
+// configured), recording how long the shard waited for it — the direct
+// measure of budget saturation — as a histogram sample and, under tracing,
+// an engine.budget.wait span. The caller releases the slot.
+func (r *Runner) acquireBudget(ctx context.Context) {
+	if r.cfg.Budget == nil {
+		return
+	}
+	_, waitSpan := obs.Start(ctx, "engine.budget.wait")
+	waitStart := time.Now()
+	r.cfg.Budget.acquire()
+	obsBudgetWait.Observe(time.Since(waitStart).Seconds())
+	waitSpan.End()
 }
 
 // defaultWorkers is the pool size when Config.Workers is 0.

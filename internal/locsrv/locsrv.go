@@ -31,14 +31,17 @@
 package locsrv
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 
+	"resilientloc/internal/engine"
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
+	"resilientloc/internal/obs"
 )
 
 // job is one wire-addressable execution: a resolved spec plus its
@@ -55,6 +58,11 @@ type job struct {
 	skipped  bool                     // failed only because a batch sibling failed; retryable
 	done     chan struct{}            // closed when the job leaves "running"
 	subs     map[chan [2]int]struct{} // event subscribers: (done, total)
+	// trace is the job's recorded span subtree (run.job and the engine spans
+	// beneath it), extracted from the batch tracer at completion. Served in
+	// the job summary so the coordinator can graft worker-side execution
+	// timelines into its own trace.
+	trace []obs.SpanRecord
 }
 
 // maxFinishedJobs bounds the in-memory job table: finished jobs beyond the
@@ -108,10 +116,60 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCache)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleMetrics serves the process-wide metric registry in Prometheus text
+// exposition format: engine shard/trial counters, cache hit rates, run-layer
+// job accounting — everything the instrumented layers record.
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
+}
+
+// health is the /healthz body: liveness plus the load signals a fleet
+// scheduler balances on — how deep the queue is, how many jobs are actually
+// executing, and how saturated the shared shard budget is.
+type health struct {
+	Status string `json:"status"`
+	// QueueDepth is the number of submitted jobs waiting for a suite-scheduler
+	// slot (run_jobs_queued).
+	QueueDepth int64 `json:"queue_depth"`
+	// InflightJobs is the number of jobs currently executing trials
+	// (run_jobs_inflight).
+	InflightJobs int64 `json:"inflight_jobs"`
+	// RunningJobs is the size of the job table's "running" set: queued plus
+	// executing, as the wire sees it.
+	RunningJobs int `json:"running_jobs"`
+	// BudgetInUse / BudgetCap describe the process-wide shard-slot budget;
+	// BudgetSaturation is their ratio (1.0 = every worker slot busy).
+	BudgetInUse      int     `json:"budget_in_use"`
+	BudgetCap        int     `json:"budget_cap"`
+	BudgetSaturation float64 `json:"budget_saturation"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	running := 0
+	for _, j := range s.jobs {
+		if j.status == "running" {
+			running++
+		}
+	}
+	s.mu.Unlock()
+	b := engine.SharedBudget()
+	h := health{
+		Status:       "ok",
+		QueueDepth:   obs.Default().Gauge("run_jobs_queued").Value(),
+		InflightJobs: obs.Default().Gauge("run_jobs_inflight").Value(),
+		RunningJobs:  running,
+		BudgetInUse:  b.InUse(),
+		BudgetCap:    b.Cap(),
+	}
+	h.BudgetSaturation = float64(h.BudgetInUse) / float64(h.BudgetCap)
+	writeJSON(w, http.StatusOK, h)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -143,6 +201,10 @@ type jobSummary struct {
 	Skipped bool        `json:"skipped,omitempty"`
 	URL     string      `json:"url"`
 	Result  *spec.Value `json:"result,omitempty"`
+	// Trace is the job's span subtree (run.job plus the engine spans under
+	// it), present on finished jobs when the result is requested. Timestamps
+	// are this worker's clock; the coordinator remaps span IDs on import.
+	Trace []obs.SpanRecord `json:"trace,omitempty"`
 }
 
 // summaryLocked renders a job; the caller holds s.mu.
@@ -164,6 +226,7 @@ func (j *job) summaryLocked(withResult bool) jobSummary {
 	}
 	if withResult && j.status == "done" {
 		v.Result = j.result
+		v.Trace = j.trace
 	}
 	return v
 }
@@ -235,9 +298,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		for i, j := range fresh {
 			jobs[i] = j.resolved
 		}
+		// Each batch runs under its own tracer, so every job's execution
+		// timeline can be extracted at completion and served with its result.
 		// Unordered: each job answers its pollers and event streams the
 		// moment it finishes, instead of waiting on batch siblings.
-		go run.ExecuteAllUnordered(s.sess, jobs, s.finish)
+		tr := obs.NewTracer()
+		ctx := obs.WithTracer(context.Background(), tr)
+		go run.ExecuteAllUnorderedContext(ctx, s.sess, jobs, func(o run.Outcome) {
+			s.finishTraced(tr, o)
+		})
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": summaries})
 }
@@ -254,9 +323,22 @@ func (s *Server) dropFinishedLocked(id string) {
 	}
 }
 
+// finishTraced extracts the outcome's span subtree — the job's run.job span
+// and everything beneath it — from the batch tracer, then records the
+// outcome. The job's spans are all ended by the time its outcome is
+// delivered, so the extraction is complete even while batch siblings are
+// still running.
+func (s *Server) finishTraced(tr *obs.Tracer, o run.Outcome) {
+	id := o.Spec.Hash()
+	trace := obs.Subtree(tr.Export(), func(r obs.SpanRecord) bool {
+		return r.Name == "run.job" && r.Attrs["job"] == id
+	})
+	s.finish(o, trace)
+}
+
 // finish records a suite outcome on its job, wakes every waiter, and evicts
 // the oldest finished jobs beyond the table bound.
-func (s *Server) finish(o run.Outcome) {
+func (s *Server) finish(o run.Outcome, trace []obs.SpanRecord) {
 	id := o.Spec.Hash()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -265,6 +347,7 @@ func (s *Server) finish(o run.Outcome) {
 		return
 	}
 	j.info = o.Info
+	j.trace = trace
 	if o.Err != nil {
 		j.status = "failed"
 		j.errMsg = o.Err.Error()
@@ -341,6 +424,9 @@ type event struct {
 	// Skipped mirrors jobSummary.Skipped on terminal "failed" lines: the
 	// failure is a batch sibling's, and resubmitting the spec retries it.
 	Skipped bool `json:"skipped,omitempty"`
+	// ElapsedSeconds is the job's wall time, carried on terminal lines only —
+	// the same per-job timing the job summary reports.
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
 }
 
 // handleEvents streams trial-progress counters for one job as
@@ -392,7 +478,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-j.done:
 			s.mu.Lock()
 			final := event{ID: j.id, Done: j.progress, Total: j.trials,
-				Status: j.status, Cached: j.info.Cached, Error: j.errMsg, Skipped: j.skipped}
+				Status: j.status, Cached: j.info.Cached, Error: j.errMsg, Skipped: j.skipped,
+				ElapsedSeconds: j.info.Elapsed.Seconds()}
 			s.mu.Unlock()
 			emit(final)
 			return

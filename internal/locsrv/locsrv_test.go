@@ -463,7 +463,7 @@ func TestEventsTerminalFailedLine(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	srv.finish(run.Outcome{Spec: sp, Err: fmt.Errorf("trial 2: boom")})
+	srv.finish(run.Outcome{Spec: sp, Err: fmt.Errorf("trial 2: boom")}, nil)
 
 	res := <-resc
 	if res.err != nil {
@@ -508,7 +508,7 @@ func TestEventsTerminalFailedLine(t *testing.T) {
 	srv.jobs[id2] = &job{id: id2, resolved: rj2, status: "running", trials: rj2.Trials,
 		done: make(chan struct{}), subs: make(map[chan [2]int]struct{})}
 	srv.mu.Unlock()
-	srv.finish(run.Outcome{Spec: sp2, Err: fmt.Errorf("%w", run.ErrSkipped)})
+	srv.finish(run.Outcome{Spec: sp2, Err: fmt.Errorf("%w", run.ErrSkipped)}, nil)
 	resp2, err := http.Get(hs.URL + "/v1/jobs/" + id2 + "/events")
 	if err != nil {
 		t.Fatal(err)
@@ -526,5 +526,99 @@ func TestEventsTerminalFailedLine(t *testing.T) {
 	final := skippedEvents[len(skippedEvents)-1]
 	if final.Status != "failed" || !final.Skipped {
 		t.Errorf("skipped job terminal event %+v, want failed with skipped=true", final)
+	}
+}
+
+// TestMetricsHealthzAndJobTrace covers the telemetry surface: a finished
+// job's summary carries its span subtree; after a warm run (a second
+// server on the same cache directory re-executes the spec and hits the
+// populated cache) /metrics exposes non-zero job, shard, and cache-hit
+// counters; and /healthz reports queue depth, in-flight jobs, and budget
+// saturation instead of a bare "ok".
+func TestMetricsHealthzAndJobTrace(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	_, hs1 := newTestServer(t, run.Options{CacheDir: cacheDir})
+	body := `{"kind":"scenario","id":"multilat-town","seed":3,"trials":4}`
+
+	jobs := submit(t, hs1, body)
+	v := poll(t, hs1, jobs[0].ID)
+	if v.Status != "done" {
+		t.Fatalf("job ended %q (error %q)", v.Status, v.Error)
+	}
+	if len(v.Trace) == 0 {
+		t.Error("done job summary carries no span subtree")
+	}
+	names := make(map[string]int)
+	for _, r := range v.Trace {
+		names[r.Name]++
+	}
+	if names["run.job"] != 1 || names["engine.shard"] == 0 {
+		t.Errorf("job trace spans %v, want one run.job with engine.shard children", names)
+	}
+
+	// Warm run: a fresh server over the same cache directory executes the
+	// same spec and must serve it from the populated result cache.
+	_, hs2 := newTestServer(t, run.Options{CacheDir: cacheDir})
+	v2 := poll(t, hs2, submit(t, hs2, body)[0].ID)
+	if v2.Status != "done" {
+		t.Fatalf("warm job ended %q (error %q)", v2.Status, v2.Error)
+	}
+
+	resp, err := http.Get(hs2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type %q, want text/plain exposition", ct)
+	}
+	metrics := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if name, val, ok := strings.Cut(line, " "); ok {
+			var f float64
+			if _, err := fmt.Sscanf(val, "%g", &f); err == nil {
+				metrics[name] = f
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"run_jobs_total", "run_jobs_cached_total",
+		"engine_trials_total", "engine_shards_total",
+		"cache_get_total", "cache_hit_total", "cache_put_total",
+		"run_job_seconds_count",
+	} {
+		if metrics[name] <= 0 {
+			t.Errorf("/metrics %s = %g, want > 0 after a warm run", name, metrics[name])
+		}
+	}
+
+	hresp, err := http.Get(hs2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("healthz status %q", h.Status)
+	}
+	if h.BudgetCap < 1 {
+		t.Errorf("healthz budget_cap %d, want >= 1", h.BudgetCap)
+	}
+	if h.QueueDepth != 0 || h.InflightJobs != 0 || h.RunningJobs != 0 {
+		t.Errorf("healthz reports load at rest: %+v", h)
+	}
+	if h.BudgetSaturation < 0 || h.BudgetSaturation > 1 {
+		t.Errorf("healthz budget_saturation %g outside [0,1]", h.BudgetSaturation)
 	}
 }
