@@ -27,6 +27,8 @@ import (
 	"resilientloc/internal/geom"
 	"resilientloc/internal/measure"
 	"resilientloc/internal/ranging"
+	"resilientloc/internal/scratch"
+	"resilientloc/internal/signal"
 )
 
 // benchExperiment runs one figure reproduction per iteration and reports
@@ -519,6 +521,96 @@ func BenchmarkAblationSeeding(b *testing.B) {
 			}
 			b.ReportMetric(avg, "avg_err_m")
 		})
+	}
+}
+
+// BenchmarkTrialDetect measures one fig10-style software-detector trial —
+// synthesizing a noisy multi-chirp waveform and running the sliding-DFT
+// detector over it — exactly as the engine's trial hot path executes it.
+// allocs/op here is the steady-state per-trial allocation count the scratch
+// arena is meant to hold at zero.
+func BenchmarkTrialDetect(b *testing.B) {
+	cfg := signal.DefaultSynth()
+	cfg.NoiseStd = 700
+	det := signal.DefaultDFTDetector()
+	rng := rand.New(rand.NewSource(41))
+	tmpl, err := cfg.Template()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := scratch.New()
+	trial := func() {
+		wave := ws.Float64s(cfg.TotalLen())
+		if err := cfg.GenerateInto(wave, tmpl, rng); err != nil {
+			b.Fatal(err)
+		}
+		if hits := det.DetectIn(ws, wave); len(hits) > cfg.Chirps*4 {
+			b.Fatalf("implausible hit count %d", len(hits))
+		}
+		ws.Release()
+	}
+	trial() // warm the arena so allocs/op reports the steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trial()
+	}
+}
+
+// BenchmarkTrialLSS measures one constrained LSS town solve at a reduced
+// restart/iteration budget (microbenchmark scale for CI; the full budget is
+// covered by the figure benchmarks above).
+func BenchmarkTrialLSS(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	dep := deploy.Town(rng)
+	set, err := measure.Generate(dep, 22, measure.GaussianNoise, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultLSSConfig(9)
+	cfg.Restarts = 2
+	cfg.MaxIters = 800
+	ws := scratch.New()
+	trial := func() {
+		if _, err := core.SolveLSSIn(ws, set, cfg, rand.New(rand.NewSource(47))); err != nil {
+			b.Fatal(err)
+		}
+		ws.Release()
+	}
+	trial() // warm the arena so allocs/op reports the steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trial()
+	}
+}
+
+// BenchmarkTrialMultilateration measures one multilat-town trial's solve:
+// anchor-based multilateration with the consistency check on, over a random
+// town deployment.
+func BenchmarkTrialMultilateration(b *testing.B) {
+	rng := rand.New(rand.NewSource(53))
+	dep := deploy.Town(rng)
+	set, err := measure.Generate(dep, 22, measure.GaussianNoise, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	anchors := make(map[int]geom.Point, len(dep.Anchors))
+	for _, a := range dep.Anchors {
+		anchors[a] = dep.Positions[a]
+	}
+	ws := scratch.New()
+	trial := func() {
+		if _, err := core.SolveMultilaterationIn(ws, set, anchors, core.DefaultMultilatConfig()); err != nil {
+			b.Fatal(err)
+		}
+		ws.Release()
+	}
+	trial() // warm the arena so allocs/op reports the steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trial()
 	}
 }
 

@@ -2,6 +2,10 @@
 // format (go test -bench -json, i.e. test2json event streams) and reports the
 // per-benchmark ns/op delta — the CI step that turns the uploaded benchmark
 // artifact into an actual regression signal instead of a write-only file.
+// When the records carry -benchmem columns, B/op and allocs/op are diffed
+// too, and any allocs/op increase is annotated: a benchmark that was
+// allocation-free picking up a steady-state per-trial allocation is a
+// regression the ns/op threshold can easily miss.
 //
 // Usage:
 //
@@ -9,11 +13,12 @@
 //
 // Benchmarks present in both files print as "old -> new (+delta%)"; ones
 // present in only one file are listed as new or gone. A regression is a
-// ns/op increase beyond -threshold percent: -annotate emits a GitHub
-// Actions ::warning:: line per regression (so the run is annotated without
-// failing), and -fail exits nonzero instead, for use as a hard gate. A
-// missing old file is not an error — the first run of a pipeline has no
-// baseline — it prints a note and exits zero.
+// ns/op increase beyond -threshold percent, or any allocs/op increase:
+// -annotate emits a GitHub Actions ::warning:: line per regression (so the
+// run is annotated without failing), and -fail exits nonzero on ns/op
+// regressions, for use as a hard gate. A missing old file is not an error —
+// the first run of a pipeline has no baseline — it prints a note and exits
+// zero.
 package main
 
 import (
@@ -36,18 +41,28 @@ func main() {
 }
 
 // benchLine matches a benchmark result line inside a test2json "output"
-// event: name (with the -GOMAXPROCS suffix), iteration count, ns/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+// event: name (with the -GOMAXPROCS suffix), iteration count, ns/op, and the
+// optional -benchmem columns (B/op, allocs/op).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op(?:\s+([0-9.eE+]+) B/op\s+([0-9.eE+]+) allocs/op)?`)
 
-// parseBench extracts ns/op per benchmark name from a test2json stream.
-// Repeated results for one name keep the last, matching -count semantics.
-func parseBench(path string) (map[string]float64, error) {
+// benchStat is one benchmark's parsed result. hasMem is set when the line
+// carried -benchmem columns.
+type benchStat struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	hasMem bool
+}
+
+// parseBench extracts per-benchmark stats from a test2json stream. Repeated
+// results for one name keep the last, matching -count semantics.
+func parseBench(path string) (map[string]benchStat, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]float64)
+	out := make(map[string]benchStat)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -58,12 +73,22 @@ func parseBench(path string) (map[string]float64, error) {
 		if json.Unmarshal(sc.Bytes(), &ev) != nil || ev.Action != "output" {
 			continue
 		}
-		if m := benchLine.FindStringSubmatch(ev.Output); m != nil {
-			var ns float64
-			if _, err := fmt.Sscanf(m[3], "%g", &ns); err == nil {
-				out[m[1]] = ns
+		m := benchLine.FindStringSubmatch(ev.Output)
+		if m == nil {
+			continue
+		}
+		var st benchStat
+		if _, err := fmt.Sscanf(m[3], "%g", &st.ns); err != nil {
+			continue
+		}
+		if m[4] != "" && m[5] != "" {
+			if _, err := fmt.Sscanf(m[4], "%g", &st.bytes); err == nil {
+				if _, err := fmt.Sscanf(m[5], "%g", &st.allocs); err == nil {
+					st.hasMem = true
+				}
 			}
 		}
+		out[m[1]] = st
 	}
 	return out, sc.Err()
 }
@@ -112,21 +137,34 @@ func realMain(args []string, out io.Writer) error {
 		c, hasCur := cur[n]
 		switch {
 		case !hasCur:
-			fmt.Fprintf(out, "%-44s %12s -> %12s\n", n, fmtNs(o), "(gone)")
+			fmt.Fprintf(out, "%-44s %12s -> %12s\n", n, fmtNs(o.ns), "(gone)")
 		case !hasOld:
-			fmt.Fprintf(out, "%-44s %12s -> %12s\n", n, "(new)", fmtNs(c))
+			fmt.Fprintf(out, "%-44s %12s -> %12s\n", n, "(new)", fmtNs(c.ns))
 		default:
-			delta := (c - o) / o * 100
+			delta := (c.ns - o.ns) / o.ns * 100
 			mark := ""
 			if delta > *threshold {
 				regressions++
 				mark = "  REGRESSION"
 				if *annotate {
 					fmt.Fprintf(out, "::warning file=BENCH_engine.json::%s regressed %.1f%% (%s -> %s, threshold %.0f%%)\n",
-						n, delta, fmtNs(o), fmtNs(c), *threshold)
+						n, delta, fmtNs(o.ns), fmtNs(c.ns), *threshold)
 				}
 			}
-			fmt.Fprintf(out, "%-44s %12s -> %12s  %+6.1f%%%s\n", n, fmtNs(o), fmtNs(c), delta, mark)
+			if o.hasMem && c.hasMem && c.allocs > o.allocs {
+				// New steady-state allocations are flagged regardless of the
+				// ns/op threshold: a single reintroduced per-trial allocation
+				// barely moves ns/op but silently re-engages the GC.
+				mark += "  ALLOCS"
+				if *annotate {
+					fmt.Fprintf(out, "::warning file=BENCH_engine.json::%s allocs/op rose %g -> %g (B/op %g -> %g)\n",
+						n, o.allocs, c.allocs, o.bytes, c.bytes)
+				}
+			}
+			fmt.Fprintf(out, "%-44s %12s -> %12s  %+6.1f%%%s\n", n, fmtNs(o.ns), fmtNs(c.ns), delta, mark)
+			if o.hasMem && c.hasMem && (c.allocs != o.allocs || c.bytes != o.bytes) {
+				fmt.Fprintf(out, "%-44s %12g -> %12g  allocs/op (%g -> %g B/op)\n", "", o.allocs, c.allocs, o.bytes, c.bytes)
+			}
 		}
 	}
 	if regressions > 0 && *fail {

@@ -36,8 +36,64 @@ func TestParseBenchStripsProcsSuffix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkFigSuiteSerial"] != 500000000 || got["BenchmarkCoordMerge"] != 1200.5 {
+	if got["BenchmarkFigSuiteSerial"].ns != 500000000 || got["BenchmarkCoordMerge"].ns != 1200.5 {
 		t.Errorf("parsed %v", got)
+	}
+	if got["BenchmarkFigSuiteSerial"].hasMem {
+		t.Error("no -benchmem columns present, hasMem must be false")
+	}
+}
+
+// writeBenchMem fabricates a test2json record whose lines carry -benchmem
+// columns: name → {ns/op, B/op, allocs/op}.
+func writeBenchMem(t *testing.T, path string, results map[string][3]float64) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"resilientloc"}` + "\n")
+	for name, v := range results {
+		b.WriteString(fmt.Sprintf(`{"Action":"output","Package":"resilientloc","Output":"%s-8 \t       2\t %g ns/op\t %g B/op\t %g allocs/op\n"}`,
+			name, v[0], v[1], v[2]) + "\n")
+	}
+	b.WriteString(`{"Action":"pass","Package":"resilientloc"}` + "\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocIncreaseIsAnnotated(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeBenchMem(t, oldPath, map[string][3]float64{
+		"BenchmarkTrialDetect": {28000, 0, 0},
+		"BenchmarkTrialLSS":    {31000000, 136968, 749},
+	})
+	writeBenchMem(t, newPath, map[string][3]float64{
+		"BenchmarkTrialDetect": {28100, 164432, 10}, // ns/op fine, allocs reintroduced
+		"BenchmarkTrialLSS":    {30900000, 136968, 749},
+	})
+
+	var out strings.Builder
+	if err := realMain([]string{"-annotate", oldPath, newPath}, &out); err != nil {
+		t.Fatalf("alloc increases must warn, not fail: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "::warning file=BENCH_engine.json::BenchmarkTrialDetect allocs/op rose 0 -> 10") {
+		t.Errorf("missing allocs warning:\n%s", s)
+	}
+	if !strings.Contains(s, "ALLOCS") {
+		t.Errorf("missing ALLOCS mark:\n%s", s)
+	}
+	if strings.Contains(s, "BenchmarkTrialLSS  ALLOCS") {
+		t.Errorf("unchanged allocs flagged:\n%s", s)
+	}
+	if strings.Count(s, "::warning") != 1 {
+		t.Errorf("want exactly one warning:\n%s", s)
+	}
+
+	// The allocs-only regression must not trip the ns/op hard gate.
+	if err := realMain([]string{"-fail", oldPath, newPath}, io.Discard); err != nil {
+		t.Errorf("-fail is ns/op-only; alloc increase should not error: %v", err)
 	}
 }
 

@@ -81,6 +81,8 @@ func realMain(args []string, out io.Writer) error {
 	var opts run.Options
 	opts.RegisterCommon(fs)
 	opts.RegisterSuiteParallel(fs)
+	var prof run.ProfileOptions
+	prof.Register(fs)
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	specFile := fs.String("spec", "", "JSON job-spec file to execute instead of -only selection")
 	workers := fs.String("workers", "",
@@ -96,6 +98,15 @@ func realMain(args []string, out io.Writer) error {
 	if *progress && !*asJSON {
 		opts.Progress = os.Stderr
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 	ctx := context.Background()
 	var tracer *obs.Tracer
 	if *traceFile != "" {

@@ -62,6 +62,8 @@ func run(args []string, out io.Writer) error {
 	opts.RegisterTrials(fs)
 	opts.RegisterShardSize(fs)
 	opts.RegisterSuiteParallel(fs)
+	var prof enginerun.ProfileOptions
+	prof.Register(fs)
 	list := fs.Bool("list", false, "list scenarios and suites, then exit")
 	runNames := fs.String("run", "", "comma-separated scenario names to run, or \"all\"")
 	suite := fs.String("suite", "", "run every scenario of the named suite")
@@ -79,6 +81,15 @@ func run(args []string, out io.Writer) error {
 	if *progress && !*asJSON {
 		opts.Progress = progressWriter
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "scenarios:", err)
+		}
+	}()
 	ctx := context.Background()
 	var tracer *obs.Tracer
 	if *traceFile != "" {

@@ -13,6 +13,7 @@ import (
 
 	"resilientloc/internal/geom"
 	"resilientloc/internal/measure"
+	"resilientloc/internal/scratch"
 )
 
 // StepMode selects the gradient-descent stepping rule.
@@ -143,6 +144,15 @@ type LSSResult struct {
 // by gradient descent with perturbation restarts. The rng seeds the initial
 // configuration and restart perturbations.
 func SolveLSS(set *measure.Set, cfg LSSConfig, rng *rand.Rand) (*LSSResult, error) {
+	return SolveLSSIn(nil, set, cfg, rng)
+}
+
+// SolveLSSIn is SolveLSS with every solver workspace — the problem's
+// measured/fixed tables, descent point and gradient buffers, objective
+// histories, and the MDS-MAP seed path — borrowed from ws (nil ws
+// allocates). The returned result's Positions and History are arena-owned:
+// valid only until ws's next Release; copy them out to keep them longer.
+func SolveLSSIn(ws *scratch.Arena, set *measure.Set, cfg LSSConfig, rng *rand.Rand) (*LSSResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: SolveLSS: %w", err)
 	}
@@ -162,7 +172,7 @@ func SolveLSS(set *measure.Set, cfg LSSConfig, rng *rand.Rand) (*LSSResult, erro
 		}
 	}
 
-	prob := newLSSProblem(set, cfg)
+	prob := newLSSProblem(ws, set, cfg)
 
 	spread := cfg.InitSpread
 	if spread <= 0 {
@@ -184,16 +194,17 @@ func SolveLSS(set *measure.Set, cfg LSSConfig, rng *rand.Rand) (*LSSResult, erro
 		pinAnchors(dst)
 	}
 
-	cur := make([]geom.Point, n)
+	cur := ws.Points(n)
 	randomConfig(cur)
 
-	best := append([]geom.Point(nil), cur...)
+	best := ws.Points(n)
+	copy(best, cur)
 	bestErr := prob.objective(best)
 	var bestHistory []float64
 	totalIters := 0
 
 	if cfg.SeedMDSMap && set.Connected() {
-		if seed, err := SolveMDSMap(set); err == nil {
+		if seed, err := SolveMDSMapIn(ws, set); err == nil {
 			if len(cfg.Anchors) >= 2 {
 				// Register the relative MDS map onto the anchor frame so
 				// pinning doesn't tear the configuration apart.
@@ -207,7 +218,7 @@ func SolveLSS(set *measure.Set, cfg LSSConfig, rng *rand.Rand) (*LSSResult, erro
 				}
 			}
 			pinAnchors(seed)
-			final, history, iters := prob.descend(seed, cfg)
+			final, history, iters := prob.descend(ws, seed, cfg)
 			totalIters += iters
 			if e := prob.objective(final); e < bestErr {
 				bestErr = e
@@ -234,7 +245,7 @@ func SolveLSS(set *measure.Set, cfg LSSConfig, rng *rand.Rand) (*LSSResult, erro
 			// Fresh random configuration: escapes reflection folds.
 			randomConfig(cur)
 		}
-		final, history, iters := prob.descend(cur, cfg)
+		final, history, iters := prob.descend(ws, cur, cfg)
 		totalIters += iters
 		if e := prob.objective(final); e < bestErr {
 			bestErr = e
@@ -260,19 +271,24 @@ type lssProblem struct {
 	// measured[i*n+j] marks pairs with a distance measurement; the soft
 	// constraint applies only to unmeasured pairs.
 	measured []bool
+	// soft lists the unmeasured (i, j) pairs flat — soft[k], soft[k+1] —
+	// in the same i-major, j-ascending order the constraint loops used to
+	// scan measured in, so objective/gradient walk a precomputed list
+	// instead of re-deriving it O(n²) per evaluation.
+	soft []int
 	// fixed marks anchored nodes whose coordinates never move.
 	fixed []bool
 	dmin  float64
 	wd    float64
 }
 
-func newLSSProblem(set *measure.Set, cfg LSSConfig) *lssProblem {
+func newLSSProblem(ws *scratch.Arena, set *measure.Set, cfg LSSConfig) *lssProblem {
 	n := set.N()
 	p := &lssProblem{
 		n:        n,
 		pairs:    set.All(),
-		measured: make([]bool, n*n),
-		fixed:    make([]bool, n),
+		measured: ws.Bools(n * n),
+		fixed:    ws.Bools(n),
 		dmin:     cfg.DMin,
 		wd:       cfg.WD,
 	}
@@ -283,6 +299,17 @@ func newLSSProblem(set *measure.Set, cfg LSSConfig) *lssProblem {
 	for a := range cfg.Anchors {
 		if a >= 0 && a < n {
 			p.fixed[a] = true
+		}
+	}
+	if p.dmin > 0 {
+		p.soft = ws.IntCap(n * (n - 1))
+		for i := 0; i < n; i++ {
+			mrow := p.measured[i*n : i*n+n]
+			for j := i + 1; j < n; j++ {
+				if !mrow[j] {
+					p.soft = append(p.soft, i, j)
+				}
+			}
 		}
 	}
 	return p
@@ -321,16 +348,11 @@ func (p *lssProblem) objective(pos []geom.Point) float64 {
 	if p.dmin <= 0 {
 		return e
 	}
-	for i := 0; i < p.n; i++ {
-		for j := i + 1; j < p.n; j++ {
-			if p.measured[i*p.n+j] {
-				continue
-			}
-			d := pos[i].Dist(pos[j])
-			if d < p.dmin {
-				r := d - p.dmin
-				e += p.wd * r * r
-			}
+	for k := 0; k < len(p.soft); k += 2 {
+		d := pos[p.soft[k]].Dist(pos[p.soft[k+1]])
+		if d < p.dmin {
+			r := d - p.dmin
+			e += p.wd * r * r
 		}
 	}
 	return e
@@ -360,23 +382,19 @@ func (p *lssProblem) gradient(pos []geom.Point, grad []float64) {
 		p.zeroFixed(grad)
 		return
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if p.measured[i*n+j] {
-				continue
-			}
-			dx := pos[i].X - pos[j].X
-			dy := pos[i].Y - pos[j].Y
-			d := math.Hypot(dx, dy)
-			if d >= p.dmin || d < minSeparation {
-				continue
-			}
-			g := 2 * p.wd * (d - p.dmin) / d
-			grad[i] += g * dx
-			grad[j] -= g * dx
-			grad[n+i] += g * dy
-			grad[n+j] -= g * dy
+	for k := 0; k < len(p.soft); k += 2 {
+		i, j := p.soft[k], p.soft[k+1]
+		dx := pos[i].X - pos[j].X
+		dy := pos[i].Y - pos[j].Y
+		d := math.Hypot(dx, dy)
+		if d >= p.dmin || d < minSeparation {
+			continue
 		}
+		g := 2 * p.wd * (d - p.dmin) / d
+		grad[i] += g * dx
+		grad[j] -= g * dx
+		grad[n+i] += g * dy
+		grad[n+j] -= g * dy
 	}
 	p.zeroFixed(grad)
 }
@@ -397,15 +415,17 @@ func (p *lssProblem) zeroFixed(grad []float64) {
 // of iterations performed. In adaptive mode the step halves when it would
 // increase the objective (retrying the step) and grows on success; in fixed
 // mode the paper's constant-α rule applies verbatim.
-func (p *lssProblem) descend(start []geom.Point, cfg LSSConfig) ([]geom.Point, []float64, int) {
+func (p *lssProblem) descend(ws *scratch.Arena, start []geom.Point, cfg LSSConfig) ([]geom.Point, []float64, int) {
 	if cfg.Mode == StepFixed {
-		return p.descendFixed(start, cfg)
+		return p.descendFixed(ws, start, cfg)
 	}
 	n := p.n
-	cur := append([]geom.Point(nil), start...)
-	next := make([]geom.Point, n)
-	grad := make([]float64, 2*n)
-	history := make([]float64, 0, cfg.MaxIters)
+	cur := ws.Points(n)
+	copy(cur, start)
+	next := ws.Points(n)
+	grad := ws.Float64s(2 * n)
+	// +1 so the final append(history, e) below stays in place.
+	history := ws.Float64Cap(cfg.MaxIters + 1)
 
 	e := p.objective(cur)
 	step := cfg.Step
@@ -451,11 +471,13 @@ func (p *lssProblem) descend(start []geom.Point, cfg LSSConfig) ([]geom.Point, [
 // descent. The only concession to float safety is halving the step when the
 // objective stops being finite (a divergence the paper's hand-tuned α
 // avoided by construction).
-func (p *lssProblem) descendFixed(start []geom.Point, cfg LSSConfig) ([]geom.Point, []float64, int) {
+func (p *lssProblem) descendFixed(ws *scratch.Arena, start []geom.Point, cfg LSSConfig) ([]geom.Point, []float64, int) {
 	n := p.n
-	cur := append([]geom.Point(nil), start...)
-	grad := make([]float64, 2*n)
-	history := make([]float64, 0, cfg.MaxIters)
+	cur := ws.Points(n)
+	copy(cur, start)
+	grad := ws.Float64s(2 * n)
+	// +1 so the final append(history, e) below stays in place.
+	history := ws.Float64Cap(cfg.MaxIters + 1)
 
 	step := cfg.Step
 	e := p.objective(cur)

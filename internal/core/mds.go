@@ -8,6 +8,7 @@ import (
 	"resilientloc/internal/geom"
 	"resilientloc/internal/mat"
 	"resilientloc/internal/measure"
+	"resilientloc/internal/scratch"
 )
 
 // SolveClassicalMDS runs classical (Torgerson) multidimensional scaling on a
@@ -25,7 +26,7 @@ func SolveClassicalMDS(set *measure.Set) ([]geom.Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mdsFromMatrix(d)
+	return mdsFromMatrix(nil, d)
 }
 
 // SolveMDSMap runs the MDS-MAP variant (Shang et al., referenced in Section
@@ -33,6 +34,13 @@ func SolveClassicalMDS(set *measure.Set) ([]geom.Point, error) {
 // through the measurement graph before classical MDS. The graph must be
 // connected.
 func SolveMDSMap(set *measure.Set) ([]geom.Point, error) {
+	return SolveMDSMapIn(nil, set)
+}
+
+// SolveMDSMapIn is SolveMDSMap with the distance matrix and MDS workspaces
+// borrowed from ws (nil ws allocates). The returned points are arena-owned:
+// valid only until ws's next Release.
+func SolveMDSMapIn(ws *scratch.Arena, set *measure.Set) ([]geom.Point, error) {
 	n := set.N()
 	if n < 3 {
 		return nil, fmt.Errorf("core: SolveMDSMap: need at least 3 nodes, have %d", n)
@@ -40,8 +48,8 @@ func SolveMDSMap(set *measure.Set) ([]geom.Point, error) {
 	if !set.Connected() {
 		return nil, errors.New("core: SolveMDSMap: measurement graph is disconnected")
 	}
-	d := shortestPaths(set)
-	return mdsFromMatrix(d)
+	d := shortestPaths(ws, set)
+	return mdsFromMatrix(ws, d)
 }
 
 // fullDistanceMatrix extracts the complete n×n distance matrix or fails on
@@ -62,10 +70,12 @@ func fullDistanceMatrix(set *measure.Set) (*mat.Dense, error) {
 	return d, nil
 }
 
-// shortestPaths runs Floyd–Warshall over the measurement graph.
-func shortestPaths(set *measure.Set) *mat.Dense {
+// shortestPaths runs Floyd–Warshall over the measurement graph. The O(n³)
+// relaxation works on flat row views — same comparisons in the same order as
+// the At/Set formulation, minus the per-element bounds checks.
+func shortestPaths(ws *scratch.Arena, set *measure.Set) *mat.Dense {
 	n := set.N()
-	d := mat.NewDense(n, n)
+	d := mat.NewDenseIn(ws, n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i != j {
@@ -78,14 +88,16 @@ func shortestPaths(set *measure.Set) *mat.Dense {
 		d.Set(m.Pair.Hi, m.Pair.Lo, m.Distance)
 	}
 	for k := 0; k < n; k++ {
+		dk := d.RowView(k)
 		for i := 0; i < n; i++ {
-			dik := d.At(i, k)
+			di := d.RowView(i)
+			dik := di[k]
 			if math.IsInf(dik, 1) {
 				continue
 			}
 			for j := 0; j < n; j++ {
-				if alt := dik + d.At(k, j); alt < d.At(i, j) {
-					d.Set(i, j, alt)
+				if alt := dik + dk[j]; alt < di[j] {
+					di[j] = alt
 				}
 			}
 		}
@@ -94,18 +106,19 @@ func shortestPaths(set *measure.Set) *mat.Dense {
 }
 
 // mdsFromMatrix applies double centering and eigendecomposition to a
-// complete symmetric distance matrix.
-func mdsFromMatrix(d *mat.Dense) ([]geom.Point, error) {
+// complete symmetric distance matrix, borrowing workspaces from ws (nil ws
+// allocates).
+func mdsFromMatrix(ws *scratch.Arena, d *mat.Dense) ([]geom.Point, error) {
 	n, _ := d.Dims()
 	// B = -1/2 · J·D²·J with J = I - (1/n)·11ᵀ.
-	sq := mat.NewDense(n, n)
+	sq := mat.NewDenseIn(ws, n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			v := d.At(i, j)
 			sq.Set(i, j, v*v)
 		}
 	}
-	rowMean := make([]float64, n)
+	rowMean := ws.Float64s(n)
 	var grand float64
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -115,13 +128,13 @@ func mdsFromMatrix(d *mat.Dense) ([]geom.Point, error) {
 		grand += rowMean[i]
 	}
 	grand /= float64(n)
-	b := mat.NewDense(n, n)
+	b := mat.NewDenseIn(ws, n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			b.Set(i, j, -0.5*(sq.At(i, j)-rowMean[i]-rowMean[j]+grand))
 		}
 	}
-	vals, vecs, err := mat.EigenSym(b)
+	vals, vecs, err := mat.EigenSymIn(ws, b)
 	if err != nil {
 		return nil, fmt.Errorf("core: MDS eigendecomposition: %w", err)
 	}
@@ -130,7 +143,7 @@ func mdsFromMatrix(d *mat.Dense) ([]geom.Point, error) {
 	}
 	s0 := math.Sqrt(vals[0])
 	s1 := math.Sqrt(vals[1])
-	pts := make([]geom.Point, n)
+	pts := ws.Points(n)
 	for i := 0; i < n; i++ {
 		pts[i] = geom.Pt(vecs.At(i, 0)*s0, vecs.At(i, 1)*s1)
 	}

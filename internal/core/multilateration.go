@@ -9,6 +9,7 @@ import (
 	"resilientloc/internal/geom"
 	"resilientloc/internal/mat"
 	"resilientloc/internal/measure"
+	"resilientloc/internal/scratch"
 )
 
 // MultilatConfig parameterizes anchor-based multilateration (Section 4.1).
@@ -90,6 +91,39 @@ type anchorObs struct {
 	weight float64
 }
 
+// nbr is one precomputed adjacency entry: a neighbor node together with the
+// distance and weight of the connecting measurement. Precomputing the
+// adjacency once per solve replaces a Neighbors allocation plus a map lookup
+// per edge per pass.
+type nbr struct {
+	node int
+	d, w float64
+}
+
+// ipt is a range-circle intersection point tagged with the indices of the
+// two circles that produced it.
+type ipt struct {
+	p    geom.Point
+	a, b int
+}
+
+// mlWorkspace holds the reusable buffers of a multilateration solve. It is
+// stashed in the trial arena (surviving Release) so repeated trials on one
+// shard reuse the same storage. The zero value is ready to use.
+type mlWorkspace struct {
+	adj  []nbr // CSR-style flat adjacency, segments sorted by neighbor
+	obs  []anchorObs
+	pts  []ipt
+	seen []int // generation stamps replacing filterConsistent's per-point map
+	gen  int
+	keep []bool
+}
+
+func multilatWS(ws *scratch.Arena) *mlWorkspace {
+	// A nil arena builds a fresh workspace per call (Stash's fallback).
+	return ws.Stash("core.multilat", func() any { return &mlWorkspace{} }).(*mlWorkspace)
+}
+
 // SolveMultilateration localizes every non-anchor node that has distance
 // measurements to at least MinAnchors anchors, by least squares over
 //
@@ -99,14 +133,23 @@ type anchorObs struct {
 // Progressive set, newly localized nodes join the anchor set (at reduced
 // weight) and localization repeats until a fixpoint.
 func SolveMultilateration(set *measure.Set, anchors map[int]geom.Point, cfg MultilatConfig) (*MultilatResult, error) {
+	return SolveMultilaterationIn(nil, set, anchors, cfg)
+}
+
+// SolveMultilaterationIn is SolveMultilateration with all per-solve working
+// storage — the flattened adjacency, observation and consistency-filter
+// buffers, and the linear-seed matrices — borrowed from ws (nil ws
+// allocates). The returned result is heap-allocated and safe to retain.
+func SolveMultilaterationIn(ws *scratch.Arena, set *measure.Set, anchors map[int]geom.Point, cfg MultilatConfig) (*MultilatResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: SolveMultilateration: %w", err)
 	}
 	if len(anchors) == 0 {
 		return nil, errors.New("core: SolveMultilateration: no anchors")
 	}
+	n := set.N()
 	for a := range anchors {
-		if a < 0 || a >= set.N() {
+		if a < 0 || a >= n {
 			return nil, fmt.Errorf("core: SolveMultilateration: anchor %d out of range", a)
 		}
 	}
@@ -120,16 +163,53 @@ func SolveMultilateration(set *measure.Set, anchors map[int]geom.Point, cfg Mult
 
 	res := &MultilatResult{Positions: make(map[int]geom.Point)}
 
+	// Flatten the measurement graph into CSR form once: off[i]..off[i+1]
+	// delimits node i's entries in w.adj. Each segment is sorted ascending by
+	// neighbor index so the passes below visit observations in exactly the
+	// order set.Neighbors would have produced.
+	w := multilatWS(ws)
+	all := set.All()
+	off := ws.Ints(n + 1)
+	for _, m := range all {
+		off[m.Pair.Lo+1]++
+		off[m.Pair.Hi+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	if cap(w.adj) < 2*len(all) {
+		w.adj = make([]nbr, 2*len(all))
+	}
+	adj := w.adj[:2*len(all)]
+	cur := ws.Ints(n)
+	copy(cur, off[:n])
+	for _, m := range all {
+		adj[cur[m.Pair.Lo]] = nbr{node: m.Pair.Hi, d: m.Distance, w: m.Weight}
+		cur[m.Pair.Lo]++
+		adj[cur[m.Pair.Hi]] = nbr{node: m.Pair.Lo, d: m.Distance, w: m.Weight}
+		cur[m.Pair.Hi]++
+	}
+	for i := 0; i < n; i++ {
+		seg := adj[off[i]:off[i+1]]
+		// Insertion sort: node degrees are small and the segments are nearly
+		// sorted already (measurements are added in index order).
+		for a := 1; a < len(seg); a++ {
+			for b := a; b > 0 && seg[b].node < seg[b-1].node; b-- {
+				seg[b], seg[b-1] = seg[b-1], seg[b]
+			}
+		}
+	}
+
 	// Count original-anchor availability for the AvgAnchorsPerNode metric.
 	nonAnchors := 0
 	totalAnchorMeas := 0
-	for i := 0; i < set.N(); i++ {
+	for i := 0; i < n; i++ {
 		if _, isAnchor := anchors[i]; isAnchor {
 			continue
 		}
 		nonAnchors++
-		for _, nb := range set.Neighbors(i) {
-			if _, ok := anchors[nb]; ok {
+		for _, nb := range adj[off[i]:off[i+1]] {
+			if _, ok := anchors[nb.node]; ok {
 				totalAnchorMeas++
 			}
 		}
@@ -147,21 +227,21 @@ func SolveMultilateration(set *measure.Set, anchors map[int]geom.Point, cfg Mult
 			pos  geom.Point
 		}
 		var fixes []fix
-		for i := 0; i < set.N(); i++ {
+		for i := 0; i < n; i++ {
 			if _, done := known[i]; done {
 				continue
 			}
-			var obs []anchorObs
-			for _, nb := range set.Neighbors(i) {
-				ap, ok := known[nb]
+			obs := w.obs[:0]
+			for _, nb := range adj[off[i]:off[i+1]] {
+				ap, ok := known[nb.node]
 				if !ok {
 					continue
 				}
-				m, _ := set.Get(i, nb)
-				obs = append(obs, anchorObs{pos: ap, d: m.Distance, weight: weight[nb] * m.Weight})
+				obs = append(obs, anchorObs{pos: ap, d: nb.d, weight: weight[nb.node] * nb.w})
 			}
+			w.obs = obs // retain grown capacity for the next node
 			if cfg.ConsistencyRadius > 0 {
-				obs = filterConsistent(obs, cfg.ConsistencyRadius)
+				obs = filterConsistentIn(w, obs, cfg.ConsistencyRadius)
 			}
 			if len(obs) < cfg.MinAnchors {
 				continue
@@ -171,10 +251,10 @@ func SolveMultilateration(set *measure.Set, anchors map[int]geom.Point, cfg Mult
 			if cfg.UseIntersectionMode && len(obs) >= cfg.MinModeAnchors {
 				p, err = solveNodeIntersectionMode(obs, cfg.ConsistencyRadius)
 				if err != nil {
-					p, err = solveNode(obs, cfg.MaxIters) // fall back
+					p, err = solveNode(ws, obs, cfg.MaxIters) // fall back
 				}
 			} else {
-				p, err = solveNode(obs, cfg.MaxIters)
+				p, err = solveNode(ws, obs, cfg.MaxIters)
 			}
 			if err != nil {
 				continue // degenerate geometry: leave unlocalized
@@ -197,6 +277,12 @@ func SolveMultilateration(set *measure.Set, anchors map[int]geom.Point, cfg Mult
 }
 
 // filterConsistent implements the Section 4.1.2 intersection consistency
+// check with freshly allocated working storage. See filterConsistentIn.
+func filterConsistent(obs []anchorObs, radius float64) []anchorObs {
+	return filterConsistentIn(&mlWorkspace{}, obs, radius)
+}
+
+// filterConsistentIn implements the Section 4.1.2 intersection consistency
 // check. The intersection points of consistent anchors' range circles "form
 // a cluster around the node being localized"; we find the largest cluster
 // of pairwise circle-intersection points and keep the anchors that
@@ -204,15 +290,16 @@ func SolveMultilateration(set *measure.Set, anchors map[int]geom.Point, cfg Mult
 // point near the cluster (e.g. the near-collinear anchor of Figure 11) are
 // discarded. With fewer than 3 anchors the check is vacuous and obs is
 // returned unchanged.
-func filterConsistent(obs []anchorObs, radius float64) []anchorObs {
+//
+// Working storage comes from w, and the surviving observations are
+// compacted in place, so the returned slice aliases obs (the write index
+// never passes the read index, making the compaction value-identical to
+// appending into a fresh slice).
+func filterConsistentIn(w *mlWorkspace, obs []anchorObs, radius float64) []anchorObs {
 	if len(obs) < 3 {
 		return obs
 	}
-	type ipt struct {
-		p    geom.Point
-		a, b int // indices of the two circles that produced it
-	}
-	var pts []ipt
+	pts := w.pts[:0]
 	for i := 0; i < len(obs); i++ {
 		ci := geom.Circle{Center: obs[i].pos, R: obs[i].d}
 		for j := i + 1; j < len(obs); j++ {
@@ -224,6 +311,7 @@ func filterConsistent(obs []anchorObs, radius float64) []anchorObs {
 			}
 		}
 	}
+	w.pts = pts
 	if len(pts) == 0 {
 		// Degenerate: no circles intersect at all; fall back to the
 		// unfiltered set rather than discarding everything (the paper keeps
@@ -233,18 +321,27 @@ func filterConsistent(obs []anchorObs, radius float64) []anchorObs {
 
 	// Find the intersection point with the most support: the number of
 	// distinct circle pairs contributing a point within radius (the "mode
-	// of the intersection points" the paper mentions).
+	// of the intersection points" the paper mentions). The per-point map of
+	// contributing pairs is replaced by a generation-stamped array — the
+	// stamp is checked before the distance test, exactly where the map
+	// membership test sat, so the dedup semantics are unchanged.
+	if need := len(obs) * len(obs); cap(w.seen) < need {
+		w.seen = make([]int, need)
+		w.gen = 0
+	}
+	seen := w.seen[:len(obs)*len(obs)]
+	gen := w.gen
 	bestIdx, bestSupport := 0, -1
 	for x := range pts {
 		support := 0
-		seen := make(map[[2]int]bool)
+		gen++
 		for y := range pts {
-			key := [2]int{pts[y].a, pts[y].b}
-			if seen[key] {
+			key := pts[y].a*len(obs) + pts[y].b
+			if seen[key] == gen {
 				continue
 			}
 			if pts[x].p.Dist(pts[y].p) <= radius {
-				seen[key] = true
+				seen[key] = gen
 				support++
 			}
 		}
@@ -253,16 +350,21 @@ func filterConsistent(obs []anchorObs, radius float64) []anchorObs {
 			bestIdx = x
 		}
 	}
+	w.gen = gen
 	center := pts[bestIdx].p
 
-	keep := make([]bool, len(obs))
+	if cap(w.keep) < len(obs) {
+		w.keep = make([]bool, len(obs))
+	}
+	keep := w.keep[:len(obs)]
+	clear(keep)
 	for _, pt := range pts {
 		if pt.p.Dist(center) <= radius {
 			keep[pt.a] = true
 			keep[pt.b] = true
 		}
 	}
-	out := obs[:0:0]
+	out := obs[:0]
 	for i, o := range obs {
 		if keep[i] {
 			out = append(out, o)
@@ -323,9 +425,10 @@ func solveNodeIntersectionMode(obs []anchorObs, radius float64) (geom.Point, err
 
 // solveNode estimates one node's position from anchor observations: a
 // linearized least-squares seed followed by Gauss-Newton refinement of the
-// nonlinear range objective.
-func solveNode(obs []anchorObs, maxIters int) (geom.Point, error) {
-	seed, err := linearSeed(obs)
+// nonlinear range objective. The seed's matrices are borrowed from ws (nil
+// ws allocates).
+func solveNode(ws *scratch.Arena, obs []anchorObs, maxIters int) (geom.Point, error) {
+	seed, err := linearSeedIn(ws, obs)
 	if err != nil {
 		// Fall back to the weighted centroid of anchors.
 		var c geom.Point
@@ -344,26 +447,27 @@ func solveNode(obs []anchorObs, maxIters int) (geom.Point, error) {
 
 // linearSeed linearizes the circle equations by subtracting the first:
 // ‖p−pa‖² − d_a² = ‖p−p0‖² − d_0² reduces to a linear system in (x, y).
-func linearSeed(obs []anchorObs) (geom.Point, error) {
+func linearSeed(obs []anchorObs) (geom.Point, error) { return linearSeedIn(nil, obs) }
+
+// linearSeedIn is linearSeed with the design matrix, right-hand side, and
+// least-squares intermediates borrowed from ws (nil ws allocates). The rows
+// are written straight into the matrix backing — the same values FromRows
+// would have copied.
+func linearSeedIn(ws *scratch.Arena, obs []anchorObs) (geom.Point, error) {
 	if len(obs) < 3 {
 		return geom.Point{}, errors.New("core: linearSeed: need 3 observations")
 	}
 	ref := obs[0]
-	rows := make([][]float64, 0, len(obs)-1)
-	rhs := make([]float64, 0, len(obs)-1)
-	for _, o := range obs[1:] {
-		rows = append(rows, []float64{
-			2 * (o.pos.X - ref.pos.X),
-			2 * (o.pos.Y - ref.pos.Y),
-		})
-		rhs = append(rhs, ref.d*ref.d-o.d*o.d+
-			o.pos.NormSq()-ref.pos.NormSq())
+	a := mat.NewDenseIn(ws, len(obs)-1, 2)
+	rhs := ws.Float64s(len(obs) - 1)
+	for k, o := range obs[1:] {
+		row := a.RowView(k)
+		row[0] = 2 * (o.pos.X - ref.pos.X)
+		row[1] = 2 * (o.pos.Y - ref.pos.Y)
+		rhs[k] = ref.d*ref.d - o.d*o.d +
+			o.pos.NormSq() - ref.pos.NormSq()
 	}
-	a, err := mat.FromRows(rows)
-	if err != nil {
-		return geom.Point{}, err
-	}
-	x, err := mat.LeastSquares(a, rhs)
+	x, err := mat.LeastSquaresIn(ws, a, rhs)
 	if err != nil {
 		return geom.Point{}, err
 	}

@@ -25,7 +25,7 @@ func TestPropertyLSSObjectiveRigidInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := DefaultLSSConfig(9)
-	prob := newLSSProblem(set, cfg)
+	prob := newLSSProblem(nil, set, cfg)
 	for trial := 0; trial < 50; trial++ {
 		pts := make([]geom.Point, dep.N())
 		for i := range pts {
@@ -59,7 +59,7 @@ func TestPropertyLSSObjectiveNonNegative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prob := newLSSProblem(set, DefaultLSSConfig(8))
+	prob := newLSSProblem(nil, set, DefaultLSSConfig(8))
 	if e := prob.objective(dep.Positions); e > 1e-9 {
 		t.Errorf("objective at truth = %g, want 0", e)
 	}
@@ -87,7 +87,7 @@ func TestPropertyLSSGradientMatchesFiniteDifference(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, dmin := range []float64{0, 9} {
-		prob := newLSSProblem(set, DefaultLSSConfig(dmin))
+		prob := newLSSProblem(nil, set, DefaultLSSConfig(dmin))
 		n := dep.N()
 		for trial := 0; trial < 20; trial++ {
 			pts := make([]geom.Point, n)

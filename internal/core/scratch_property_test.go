@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resilientloc/internal/deploy"
+	"resilientloc/internal/geom"
+	"resilientloc/internal/measure"
+	"resilientloc/internal/scratch"
+)
+
+func samePoints(a, b []geom.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].X) != math.Float64bits(b[i].X) ||
+			math.Float64bits(a[i].Y) != math.Float64bits(b[i].Y) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSolveLSSInMatchesFresh: the arena-backed solver must reproduce the
+// allocating solver bit for bit — positions, objective, and descent history
+// — across randomized deployments, with the arena reused between solves.
+func TestSolveLSSInMatchesFresh(t *testing.T) {
+	ws := scratch.New()
+	for iter := 0; iter < 4; iter++ {
+		rng := rand.New(rand.NewSource(int64(900 + iter)))
+		dep := deploy.Town(rng)
+		set, err := measure.Generate(dep, 22, measure.GaussianNoise, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultLSSConfig(9)
+		cfg.Restarts = 1
+		cfg.MaxIters = 300
+		want, err := SolveLSS(set, cfg, rand.New(rand.NewSource(int64(7000+iter))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveLSSIn(ws, set, cfg, rand.New(rand.NewSource(int64(7000+iter))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePoints(want.Positions, got.Positions) {
+			t.Fatalf("iter %d: arena positions differ from fresh", iter)
+		}
+		if math.Float64bits(want.Error) != math.Float64bits(got.Error) {
+			t.Fatalf("iter %d: final E %v != %v", iter, got.Error, want.Error)
+		}
+		if len(want.History) != len(got.History) {
+			t.Fatalf("iter %d: history length %d != %d", iter, len(got.History), len(want.History))
+		}
+		for i := range want.History {
+			if math.Float64bits(want.History[i]) != math.Float64bits(got.History[i]) {
+				t.Fatalf("iter %d: history[%d] differs", iter, i)
+			}
+		}
+		ws.Release()
+	}
+}
+
+// TestSolveMultilaterationInMatchesFresh: precomputed adjacency, reused
+// observation buffers, and the stamp-based consistency filter must leave
+// every localized position bit-identical to the fresh-allocation solver.
+func TestSolveMultilaterationInMatchesFresh(t *testing.T) {
+	ws := scratch.New()
+	for iter := 0; iter < 8; iter++ {
+		rng := rand.New(rand.NewSource(int64(1100 + iter)))
+		dep := deploy.Town(rng)
+		set, err := measure.Generate(dep, 22, measure.GaussianNoise, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anchors := make(map[int]geom.Point, len(dep.Anchors))
+		for _, a := range dep.Anchors {
+			anchors[a] = dep.Positions[a]
+		}
+		cfg := DefaultMultilatConfig()
+		cfg.Progressive = iter%2 == 0
+		want, err := SolveMultilateration(set, anchors, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveMultilaterationIn(ws, set, anchors, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Localized) != len(got.Localized) {
+			t.Fatalf("iter %d: localized %d != %d", iter, len(got.Localized), len(want.Localized))
+		}
+		for i := range want.Localized {
+			if want.Localized[i] != got.Localized[i] {
+				t.Fatalf("iter %d: localized[%d] %d != %d", iter, i, got.Localized[i], want.Localized[i])
+			}
+		}
+		for n, wp := range want.Positions {
+			gp, ok := got.Positions[n]
+			if !ok {
+				t.Fatalf("iter %d: node %d missing from arena result", iter, n)
+			}
+			if math.Float64bits(wp.X) != math.Float64bits(gp.X) ||
+				math.Float64bits(wp.Y) != math.Float64bits(gp.Y) {
+				t.Fatalf("iter %d: node %d position %v != %v", iter, n, gp, wp)
+			}
+		}
+		if math.Float64bits(want.AvgAnchorsPerNode) != math.Float64bits(got.AvgAnchorsPerNode) {
+			t.Fatalf("iter %d: AvgAnchorsPerNode differs", iter)
+		}
+		ws.Release()
+	}
+}
+
+// TestSolveMDSMapInMatchesFresh covers the shortest-path completion and the
+// double-centered eigendecomposition on arena workspaces.
+func TestSolveMDSMapInMatchesFresh(t *testing.T) {
+	ws := scratch.New()
+	for iter := 0; iter < 6; iter++ {
+		rng := rand.New(rand.NewSource(int64(1300 + iter)))
+		dep := deploy.PaperGrid()
+		set, err := measure.Generate(dep, 15, 0.33, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !set.Connected() {
+			continue
+		}
+		want, err := SolveMDSMap(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveMDSMapIn(ws, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePoints(want, got) {
+			t.Fatalf("iter %d: arena MDS-MAP differs from fresh", iter)
+		}
+		ws.Release()
+	}
+}

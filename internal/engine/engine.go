@@ -23,6 +23,8 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+
+	"resilientloc/internal/scratch"
 )
 
 // DeriveSeed maps (scenario seed, trial index) to an independent per-trial
@@ -65,6 +67,16 @@ type Scenario struct {
 
 	// Run executes one trial.
 	Run TrialFunc
+
+	// ShardInit, when set, is called once per shard (and once per
+	// distributed raw trial range) before any of its trials run; the value
+	// it returns is exposed to every trial as T.ShardData. It exists to
+	// hoist per-scenario invariants — synthesized chirp templates,
+	// environment tables — out of the trial loop. It MUST be a pure,
+	// deterministic function of the scenario (no RNG, no trial index, no
+	// mutable shared state): the runner calls it once per shard, so any
+	// nondeterminism would break the worker-count independence of results.
+	ShardInit func() any
 }
 
 // Validate checks that the scenario is runnable.
@@ -100,11 +112,25 @@ type T struct {
 	// RNG is the trial's private generator. All randomness must flow
 	// through it (or through samplers built on it).
 	RNG *rand.Rand
+	// ShardData is the value the scenario's ShardInit hook returned for
+	// this trial's shard (nil when the scenario has no ShardInit, or when
+	// the T was built outside the runner). It is shared by every trial in
+	// the shard and must be treated as read-only.
+	ShardData any
 
 	scalars []sample
 	series  []seriesSample
 	output  any
+	ws      *scratch.Arena
 }
+
+// Scratch returns the shard worker's scratch arena. Buffers borrowed from
+// it are valid only until the trial returns — the runner releases the arena
+// between trials — so nothing reachable from Record/RecordSeries/Keep values
+// may alias them (both Record methods copy, so recording is always safe).
+// Outside the runner (unit tests calling a TrialFunc directly) the arena is
+// nil, which every arena method treats as plain allocation.
+func (t *T) Scratch() *scratch.Arena { return t.ws }
 
 type sample struct {
 	name  string

@@ -304,9 +304,17 @@ func aggToPiece(si int, agg *shardAgg, keep bool) (ShardPiece, error) {
 // a trial error it returns the failing trial index.
 func runRawPiece(s Scenario, seed int64, si, lo, hi int) (ShardPiece, int, error) {
 	piece := ShardPiece{Shard: si, Lo: lo, Hi: hi, Raw: make([]TrialRecord, 0, hi-lo)}
+	ws := grabArena()
+	defer releaseArena(ws)
+	var shardData any
+	if s.ShardInit != nil {
+		shardData = s.ShardInit()
+	}
 	for trial := lo; trial < hi; trial++ {
-		t := &T{Trial: trial, RNG: newTrialRNG(s, seed, trial)}
-		if err := s.Run(t); err != nil {
+		t := &T{Trial: trial, RNG: newTrialRNG(s, seed, trial), ShardData: shardData, ws: ws}
+		err := s.Run(t)
+		ws.Release()
+		if err != nil {
 			return ShardPiece{}, trial, fmt.Errorf("engine: scenario %s: trial %d: %w", s.Name, trial, err)
 		}
 		if t.output != nil {

@@ -1,0 +1,74 @@
+package run
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileOptions wires the conventional -cpuprofile/-memprofile flags into a
+// command so whole-run profiles of the trial hot path can be captured without
+// attaching to the locd pprof endpoints:
+//
+//	experiments -only fig10 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+type ProfileOptions struct {
+	CPUProfile string
+	MemProfile string
+}
+
+// Register installs the profiling flags on fs.
+func (p *ProfileOptions) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile of the whole run to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file when the run ends")
+}
+
+// Start begins CPU profiling when requested and returns a stop function that
+// ends the CPU profile and writes the heap profile. Call stop exactly once,
+// after the profiled work finishes; it reports the first error encountered
+// while finishing either profile.
+func (p *ProfileOptions) Start() (stop func() error, err error) {
+	var cpuOut *os.File
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuOut = f
+	}
+	memPath := p.MemProfile
+	return func() error {
+		var first error
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				first = fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("memprofile: %w", err)
+				}
+				return first
+			}
+			// A final GC makes the heap profile reflect live steady-state
+			// memory rather than whatever the last cycle left behind.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,54 @@
+package run
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileOptionsWriteBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	var p ProfileOptions
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	p.Register(fs)
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += math.Sqrt(float64(i))
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestProfileOptionsDisabledIsNoop(t *testing.T) {
+	var p ProfileOptions
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

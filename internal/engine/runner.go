@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"resilientloc/internal/obs"
+	"resilientloc/internal/scratch"
 	"resilientloc/internal/stats"
 )
 
@@ -245,9 +246,19 @@ func runShard(s Scenario, seed int64, lo, hi int, keep bool) *shardAgg {
 		agg.trialSeries = make(map[string][][]float64)
 		agg.trialOutputs = make([]any, hi-lo)
 	}
+	ws := grabArena()
+	defer releaseArena(ws)
+	var shardData any
+	if s.ShardInit != nil {
+		shardData = s.ShardInit()
+	}
 	for trial := lo; trial < hi; trial++ {
-		t := &T{Trial: trial, RNG: newTrialRNG(s, seed, trial)}
-		if err := s.Run(t); err != nil {
+		t := &T{Trial: trial, RNG: newTrialRNG(s, seed, trial), ShardData: shardData, ws: ws}
+		err := s.Run(t)
+		// Rewind the arena before folding: fold only touches the T's own
+		// recorded copies, never borrowed buffers.
+		ws.Release()
+		if err != nil {
 			agg.err = fmt.Errorf("engine: scenario %s: trial %d: %w", s.Name, trial, err)
 			agg.errTrial = trial
 			return agg
@@ -259,6 +270,17 @@ func runShard(s Scenario, seed int64, lo, hi int, keep bool) *shardAgg {
 		}
 	}
 	return agg
+}
+
+// arenaPool recycles scratch arenas across shards so a long campaign's
+// steady state allocates nothing per shard either.
+var arenaPool = sync.Pool{New: func() any { return scratch.New() }}
+
+func grabArena() *scratch.Arena { return arenaPool.Get().(*scratch.Arena) }
+
+func releaseArena(ws *scratch.Arena) {
+	ws.Release()
+	arenaPool.Put(ws)
 }
 
 func (agg *shardAgg) fold(t *T, keep bool) error {

@@ -310,7 +310,7 @@ func townMultilat(t *T, dropAnchors int) error {
 	// §4.1.2 check on: across many random towns, the occasional
 	// near-collinear anchor triple otherwise produces a wildly divergent
 	// least-squares fix that dominates the mean.
-	res, err := core.SolveMultilateration(set, anchors, core.DefaultMultilatConfig())
+	res, err := core.SolveMultilaterationIn(t.Scratch(), set, anchors, core.DefaultMultilatConfig())
 	if err != nil {
 		return err
 	}
@@ -384,7 +384,7 @@ func LargeGrid(rows, cols int) Scenario {
 			// promoted to anchors and localization iterates to a fixpoint.
 			cfg := core.DefaultMultilatConfig()
 			cfg.Progressive = true
-			res, err := core.SolveMultilateration(set, anchors, cfg)
+			res, err := core.SolveMultilaterationIn(t.Scratch(), set, anchors, cfg)
 			if err != nil {
 				return err
 			}
@@ -417,7 +417,7 @@ func LSSTownConstrained() Scenario {
 			if err != nil {
 				return err
 			}
-			res, err := core.SolveLSS(set, core.DefaultLSSConfig(9), t.RNG)
+			res, err := core.SolveLSSIn(t.Scratch(), set, core.DefaultLSSConfig(9), t.RNG)
 			if err != nil {
 				return err
 			}

@@ -11,6 +11,7 @@ import (
 	"resilientloc/internal/geom"
 	"resilientloc/internal/measure"
 	"resilientloc/internal/ranging"
+	"resilientloc/internal/scratch"
 	"resilientloc/internal/stats"
 )
 
@@ -88,11 +89,11 @@ func fig11Campaign(seed int64) engine.Campaign[*Result] {
 		noCheck := core.DefaultMultilatConfig()
 		noCheck.ConsistencyRadius = 0
 
-		resNo, err := core.SolveMultilateration(set, anchors, noCheck)
+		resNo, err := core.SolveMultilaterationIn(t.Scratch(), set, anchors, noCheck)
 		if err != nil {
 			return nil, err
 		}
-		resYes, err := core.SolveMultilateration(set, anchors, withCheck)
+		resYes, err := core.SolveMultilaterationIn(t.Scratch(), set, anchors, withCheck)
 		if err != nil {
 			return nil, err
 		}
@@ -168,7 +169,7 @@ func fig12Campaign(seed int64) engine.Campaign[*Result] {
 		for _, a := range dep.Anchors {
 			anchors[a] = dep.Positions[a]
 		}
-		res, err := core.SolveMultilateration(set, anchors, core.DefaultMultilatConfig())
+		res, err := core.SolveMultilaterationIn(t.Scratch(), set, anchors, core.DefaultMultilatConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +210,7 @@ func fig14Campaign(seed int64) engine.Campaign[*Result] {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.SolveMultilateration(set, anchors, core.DefaultMultilatConfig())
+		res, err := core.SolveMultilaterationIn(t.Scratch(), set, anchors, core.DefaultMultilatConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -262,7 +263,7 @@ func fig16Campaign(seed int64) engine.Campaign[*Result] {
 		// simulation (its footnote 5).
 		cfg := core.DefaultMultilatConfig()
 		cfg.ConsistencyRadius = 0
-		res, err := core.SolveMultilateration(set, anchors, cfg)
+		res, err := core.SolveMultilaterationIn(t.Scratch(), set, anchors, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -299,7 +300,7 @@ func fig16Campaign(seed int64) engine.Campaign[*Result] {
 
 // lssGridExperiment runs centralized LSS on the grass-grid field set with
 // the given dmin, using paper-faithful random seeding.
-func lssGridExperiment(seed int64, dmin float64) (*eval.Alignment, *core.LSSResult, *measure.Set, error) {
+func lssGridExperiment(ws *scratch.Arena, seed int64, dmin float64) (*eval.Alignment, *core.LSSResult, *measure.Set, error) {
 	set, dep, err := gridFieldSet(seed)
 	if err != nil {
 		return nil, nil, nil, err
@@ -313,7 +314,7 @@ func lssGridExperiment(seed int64, dmin float64) (*eval.Alignment, *core.LSSResu
 	// components into a coherent layout.
 	cfg.Restarts = 150
 	cfg.MaxIters = 6000
-	res, err := core.SolveLSS(set, cfg, rand.New(rand.NewSource(seed+10)))
+	res, err := core.SolveLSSIn(ws, set, cfg, rand.New(rand.NewSource(seed+10)))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -334,7 +335,7 @@ func Fig18LSSGridConstrained(seed int64) (*Result, error) {
 
 func fig18Campaign(seed int64) engine.Campaign[*Result] {
 	return singleTrial("fig18", func(t *engine.T) (*Result, error) {
-		a, res, set, err := lssGridExperiment(seed, 9.14)
+		a, res, set, err := lssGridExperiment(t.Scratch(), seed, 9.14)
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +365,7 @@ func Fig19LSSGridUnconstrained(seed int64) (*Result, error) {
 
 func fig19Campaign(seed int64) engine.Campaign[*Result] {
 	return singleTrial("fig19", func(t *engine.T) (*Result, error) {
-		a, res, _, err := lssGridExperiment(seed, 0)
+		a, res, _, err := lssGridExperiment(t.Scratch(), seed, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -411,7 +412,7 @@ func fig20Campaign(seed int64) engine.Campaign[*Result] {
 		// Footnote 5: intersection consistency checking omitted here.
 		cfg := core.DefaultMultilatConfig()
 		cfg.ConsistencyRadius = 0
-		res, err := core.SolveMultilateration(set, anchors, cfg)
+		res, err := core.SolveMultilaterationIn(t.Scratch(), set, anchors, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -456,7 +457,7 @@ func townDescent(t *engine.T, seed int64, dmin float64, maxIters int) (float64, 
 	// Compact initialization, matching the paper's Figure 23 starting
 	// objective: the constraint then acts as an unfolding force.
 	cfg.InitSpread = 20
-	res, err := core.SolveLSS(set, cfg, t.RNG)
+	res, err := core.SolveLSSIn(t.Scratch(), set, cfg, t.RNG)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -478,13 +479,13 @@ func townDescent(t *engine.T, seed int64, dmin float64, maxIters int) (float64, 
 
 // townFullSolver runs the library's full adaptive solver (with restarts) on
 // the town scenario.
-func townFullSolver(seed int64, dmin float64) (*eval.Alignment, *core.LSSResult, error) {
+func townFullSolver(ws *scratch.Arena, seed int64, dmin float64) (*eval.Alignment, *core.LSSResult, error) {
 	dep, set, err := townScenario(seed)
 	if err != nil {
 		return nil, nil, err
 	}
 	cfg := core.DefaultLSSConfig(dmin)
-	res, err := core.SolveLSS(set, cfg, rand.New(rand.NewSource(seed+20)))
+	res, err := core.SolveLSSIn(ws, set, cfg, rand.New(rand.NewSource(seed+20)))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -513,7 +514,7 @@ func Fig21LSSTownConstrained(seed int64) (*Result, error) {
 
 func fig21Campaign(seed int64) engine.Campaign[*Result] {
 	return singleTrial("fig21", func(t *engine.T) (*Result, error) {
-		a, res, err := townFullSolver(seed, 9)
+		a, res, err := townFullSolver(t.Scratch(), seed, 9)
 		if err != nil {
 			return nil, err
 		}
@@ -568,7 +569,7 @@ func fig22Campaign(seed int64) engine.Campaign[*Result] {
 					}
 					t.Record("avg_error_m", avg)
 				default: // full restart solver
-					aFull, _, err := townFullSolver(seed, 0)
+					aFull, _, err := townFullSolver(t.Scratch(), seed, 0)
 					if err != nil {
 						return err
 					}

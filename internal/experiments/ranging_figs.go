@@ -308,17 +308,17 @@ func Fig10DFTToneDetection(seed int64) (*Result, error) {
 }
 
 func fig10Campaign(seed int64) engine.Campaign[*Result] {
-	return singleTrial("fig10", func(t *engine.T) (*Result, error) {
+	c := singleTrial("fig10", func(t *engine.T) (*Result, error) {
 		det := signal.DefaultDFTDetector()
 
 		count := func(noise float64) (matched, falsePos int, err error) {
 			cfg := signal.DefaultSynth()
 			cfg.NoiseStd = noise
-			wave, err := cfg.Generate(t.RNG)
+			wave, err := synthWave(t, cfg)
 			if err != nil {
 				return 0, 0, err
 			}
-			hits := det.Detect(wave)
+			hits := det.DetectIn(t.Scratch(), wave)
 			starts := cfg.ChirpStarts()
 			for _, h := range hits {
 				ok := false
@@ -357,6 +357,32 @@ func fig10Campaign(seed int64) engine.Campaign[*Result] {
 		r.Add("noisy false positives", float64(noisyFP), "")
 		return r, nil
 	})
+	// The chirp template depends only on the synth layout — not the noise
+	// level or trial RNG — so it is precomputed once per shard.
+	c.Scenario.ShardInit = func() any {
+		tmpl, err := signal.DefaultSynth().Template()
+		if err != nil {
+			return nil
+		}
+		return tmpl
+	}
+	return c
+}
+
+// synthWave synthesizes one waveform for a trial, reusing the shard's
+// precomputed chirp template and the trial arena when available and falling
+// back to plain Generate otherwise. Both paths consume the RNG identically
+// and produce bit-identical samples.
+func synthWave(t *engine.T, cfg signal.SynthConfig) ([]float64, error) {
+	tmpl, _ := t.ShardData.([]float64)
+	if tmpl == nil || len(tmpl) != cfg.TotalLen() {
+		return cfg.Generate(t.RNG)
+	}
+	wave := t.Scratch().Float64s(cfg.TotalLen())
+	if err := cfg.GenerateInto(wave, tmpl, t.RNG); err != nil {
+		return nil, err
+	}
+	return wave, nil
 }
 
 // maxRangeSweepRounds is the number of measurement attempts per sweep point.

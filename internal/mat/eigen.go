@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"resilientloc/internal/scratch"
 )
 
 // EigenSym computes the full eigendecomposition of a symmetric matrix a
@@ -15,6 +17,13 @@ import (
 // distance matrix; for the network sizes in the paper (≤ 60 nodes) Jacobi is
 // comfortably fast and numerically robust.
 func EigenSym(a *Dense) (vals []float64, vecs *Dense, err error) {
+	return EigenSymIn(nil, a)
+}
+
+// EigenSymIn is EigenSym with the working copy, the accumulated rotations,
+// and both sorted outputs borrowed from ws (nil ws allocates). The returned
+// values and vectors are arena-owned: valid only until ws's next Release.
+func EigenSymIn(ws *scratch.Arena, a *Dense) (vals []float64, vecs *Dense, err error) {
 	n, c := a.Dims()
 	if n != c {
 		return nil, nil, errors.New("mat: EigenSym: matrix not square")
@@ -23,8 +32,8 @@ func EigenSym(a *Dense) (vals []float64, vecs *Dense, err error) {
 		return nil, nil, errors.New("mat: EigenSym: matrix not symmetric")
 	}
 
-	w := a.Clone()
-	v := NewDense(n, n)
+	w := a.cloneIn(ws)
+	v := denseIn(ws, n, n)
 	for i := 0; i < n; i++ {
 		v.Set(i, i, 1)
 	}
@@ -58,19 +67,19 @@ func EigenSym(a *Dense) (vals []float64, vecs *Dense, err error) {
 		}
 	}
 
-	vals = make([]float64, n)
+	vals = ws.Float64s(n)
 	for i := 0; i < n; i++ {
 		vals[i] = w.At(i, i)
 	}
 	// Sort eigenpairs by descending eigenvalue.
-	idx := make([]int, n)
+	idx := ws.Ints(n)
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
 
-	sortedVals := make([]float64, n)
-	sortedVecs := NewDense(n, n)
+	sortedVals := ws.Float64s(n)
+	sortedVecs := denseIn(ws, n, n)
 	for newCol, oldCol := range idx {
 		sortedVals[newCol] = vals[oldCol]
 		for r := 0; r < n; r++ {
@@ -90,25 +99,33 @@ func diagNorm(m *Dense) float64 {
 }
 
 // applyJacobi applies the rotation G(p, q, θ) on both sides of w and
-// accumulates it into the eigenvector matrix v.
+// accumulates it into the eigenvector matrix v. The loops index the flat
+// backing arrays directly — column walks are stride-n, row walks are
+// subslices — performing the same operations in the same order as the
+// At/Set formulation.
 func applyJacobi(w, v *Dense, p, q int, c, s float64) {
 	n, _ := w.Dims()
+	wd, vd := w.data, v.data
 	for k := 0; k < n; k++ {
-		wkp := w.At(k, p)
-		wkq := w.At(k, q)
-		w.Set(k, p, c*wkp-s*wkq)
-		w.Set(k, q, s*wkp+c*wkq)
+		kp, kq := k*n+p, k*n+q
+		wkp := wd[kp]
+		wkq := wd[kq]
+		wd[kp] = c*wkp - s*wkq
+		wd[kq] = s*wkp + c*wkq
+	}
+	wp := wd[p*n : p*n+n]
+	wq := wd[q*n : q*n+n]
+	for k := 0; k < n; k++ {
+		wpk := wp[k]
+		wqk := wq[k]
+		wp[k] = c*wpk - s*wqk
+		wq[k] = s*wpk + c*wqk
 	}
 	for k := 0; k < n; k++ {
-		wpk := w.At(p, k)
-		wqk := w.At(q, k)
-		w.Set(p, k, c*wpk-s*wqk)
-		w.Set(q, k, s*wpk+c*wqk)
-	}
-	for k := 0; k < n; k++ {
-		vkp := v.At(k, p)
-		vkq := v.At(k, q)
-		v.Set(k, p, c*vkp-s*vkq)
-		v.Set(k, q, s*vkp+c*vkq)
+		kp, kq := k*n+p, k*n+q
+		vkp := vd[kp]
+		vkq := vd[kq]
+		vd[kp] = c*vkp - s*vkq
+		vd[kq] = s*vkp + c*vkq
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"resilientloc/internal/scratch"
 )
 
 // ErrShape is returned when operand dimensions are incompatible.
@@ -51,8 +53,61 @@ func FromRows(rows [][]float64) (*Dense, error) {
 	return m, nil
 }
 
+// densePool is the package's stashed workspace in a scratch arena: a bump
+// cursor over reusable Dense headers whose backing arrays come from the
+// arena's float64 pool. Release resets the cursor via scratch.Resetter.
+type densePool struct {
+	items []*Dense
+	used  int
+}
+
+func (p *densePool) next() *Dense {
+	if p.used < len(p.items) {
+		d := p.items[p.used]
+		p.used++
+		return d
+	}
+	d := &Dense{}
+	p.items = append(p.items, d)
+	p.used++
+	return d
+}
+
+// Reset rewinds the header cursor; the arena zeroes/reuses the float64
+// backing independently.
+func (p *densePool) Reset() { p.used = 0 }
+
+// denseIn returns a zeroed r×c matrix backed by ws; a nil ws falls back to
+// NewDense. Arena-backed matrices are valid only until ws's next Release.
+func denseIn(ws *scratch.Arena, r, c int) *Dense {
+	if ws == nil {
+		return NewDense(r, c)
+	}
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: denseIn: invalid shape %dx%d", r, c))
+	}
+	pool := ws.Stash("mat.densePool", func() any { return &densePool{} }).(*densePool)
+	d := pool.next()
+	d.rows, d.cols, d.data = r, c, ws.Float64s(r*c)
+	return d
+}
+
+// NewDenseIn is NewDense with the matrix borrowed from ws (nil ws
+// allocates): header from the package's stashed pool, backing from the
+// arena's float64 pool. The matrix is valid only until ws's next Release.
+func NewDenseIn(ws *scratch.Arena, r, c int) *Dense { return denseIn(ws, r, c) }
+
 // Dims returns the (rows, cols) of m.
 func (m *Dense) Dims() (int, int) { return m.rows, m.cols }
+
+// RowView returns row i as a subslice of the backing array (shared, not
+// copied), giving hot loops flat access without per-element bounds checks.
+func (m *Dense) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: RowView(%d) out of %dx%d", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
 
 // At returns the element at row i, column j.
 func (m *Dense) At(i, j int) float64 {
@@ -73,15 +128,21 @@ func (m *Dense) check(i, j int) {
 }
 
 // Clone returns a deep copy of m.
-func (m *Dense) Clone() *Dense {
-	n := NewDense(m.rows, m.cols)
+func (m *Dense) Clone() *Dense { return m.cloneIn(nil) }
+
+// cloneIn is Clone with the copy's backing borrowed from ws (nil allocates).
+func (m *Dense) cloneIn(ws *scratch.Arena) *Dense {
+	n := denseIn(ws, m.rows, m.cols)
 	copy(n.data, m.data)
 	return n
 }
 
 // T returns the transpose of m as a new matrix.
-func (m *Dense) T() *Dense {
-	t := NewDense(m.cols, m.rows)
+func (m *Dense) T() *Dense { return m.tIn(nil) }
+
+// tIn is T with the result borrowed from ws (nil allocates).
+func (m *Dense) tIn(ws *scratch.Arena) *Dense {
+	t := denseIn(ws, m.cols, m.rows)
 	for i := 0; i < m.rows; i++ {
 		for j := 0; j < m.cols; j++ {
 			t.data[j*t.cols+i] = m.data[i*m.cols+j]
@@ -91,11 +152,14 @@ func (m *Dense) T() *Dense {
 }
 
 // Mul returns m · b as a new matrix.
-func (m *Dense) Mul(b *Dense) (*Dense, error) {
+func (m *Dense) Mul(b *Dense) (*Dense, error) { return m.mulIn(nil, b) }
+
+// mulIn is Mul with the result borrowed from ws (nil allocates).
+func (m *Dense) mulIn(ws *scratch.Arena, b *Dense) (*Dense, error) {
 	if m.cols != b.rows {
 		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
 	}
-	out := NewDense(m.rows, b.cols)
+	out := denseIn(ws, m.rows, b.cols)
 	for i := 0; i < m.rows; i++ {
 		for k := 0; k < m.cols; k++ {
 			a := m.data[i*m.cols+k]
@@ -113,11 +177,14 @@ func (m *Dense) Mul(b *Dense) (*Dense, error) {
 }
 
 // MulVec returns m · x for a column vector x of length m.cols.
-func (m *Dense) MulVec(x []float64) ([]float64, error) {
+func (m *Dense) MulVec(x []float64) ([]float64, error) { return m.mulVecIn(nil, x) }
+
+// mulVecIn is MulVec with the result borrowed from ws (nil allocates).
+func (m *Dense) mulVecIn(ws *scratch.Arena, x []float64) ([]float64, error) {
 	if len(x) != m.cols {
 		return nil, fmt.Errorf("%w: %dx%d · vec(%d)", ErrShape, m.rows, m.cols, len(x))
 	}
-	out := make([]float64, m.rows)
+	out := ws.Float64s(m.rows)
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64

@@ -3,30 +3,43 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"resilientloc/internal/scratch"
 )
 
 // Cholesky factors a symmetric positive-definite matrix a as L·Lᵀ and
 // returns the lower-triangular factor L. It returns ErrSingular when a is
 // not positive definite within floating-point tolerance.
-func Cholesky(a *Dense) (*Dense, error) {
+func Cholesky(a *Dense) (*Dense, error) { return CholeskyIn(nil, a) }
+
+// CholeskyIn is Cholesky with the factor borrowed from ws (nil ws
+// allocates). The inner loops run over the flat backing arrays — same
+// operations in the same order as the At/Set formulation, so the factor is
+// bit-identical — with the row bases hoisted out of the k loop.
+func CholeskyIn(ws *scratch.Arena, a *Dense) (*Dense, error) {
 	n, c := a.Dims()
 	if n != c {
 		return nil, fmt.Errorf("%w: Cholesky of %dx%d", ErrShape, n, c)
 	}
-	l := NewDense(n, n)
+	l := denseIn(ws, n, n)
+	ld := l.data
+	ad := a.data
 	for i := 0; i < n; i++ {
+		li := ld[i*n : i*n+n]
+		ai := ad[i*n : i*n+n]
 		for j := 0; j <= i; j++ {
-			sum := a.At(i, j)
+			lj := ld[j*n : j*n+n]
+			sum := ai[j]
 			for k := 0; k < j; k++ {
-				sum -= l.At(i, k) * l.At(j, k)
+				sum -= li[k] * lj[k]
 			}
 			if i == j {
 				if sum <= 0 || math.IsNaN(sum) {
 					return nil, fmt.Errorf("%w: pivot %d = %g", ErrSingular, i, sum)
 				}
-				l.Set(i, i, math.Sqrt(sum))
+				li[i] = math.Sqrt(sum)
 			} else {
-				l.Set(i, j, sum/l.At(j, j))
+				li[j] = sum / lj[j]
 			}
 		}
 	}
@@ -36,31 +49,41 @@ func Cholesky(a *Dense) (*Dense, error) {
 // SolveCholesky solves a·x = b for symmetric positive-definite a using the
 // Cholesky factorization.
 func SolveCholesky(a *Dense, b []float64) ([]float64, error) {
+	return SolveCholeskyIn(nil, a, b)
+}
+
+// SolveCholeskyIn is SolveCholesky with the factor and both substitution
+// vectors borrowed from ws (nil ws allocates). The returned solution is
+// arena-owned: valid only until ws's next Release.
+func SolveCholeskyIn(ws *scratch.Arena, a *Dense, b []float64) ([]float64, error) {
 	n, _ := a.Dims()
 	if len(b) != n {
 		return nil, fmt.Errorf("%w: solve %dx%d with rhs %d", ErrShape, n, n, len(b))
 	}
-	l, err := Cholesky(a)
+	l, err := CholeskyIn(ws, a)
 	if err != nil {
 		return nil, err
 	}
+	ld := l.data
 	// Forward substitution: L·y = b.
-	y := make([]float64, n)
+	y := ws.Float64s(n)
 	for i := 0; i < n; i++ {
+		li := ld[i*n : i*n+n]
 		s := b[i]
 		for k := 0; k < i; k++ {
-			s -= l.At(i, k) * y[k]
+			s -= li[k] * y[k]
 		}
-		y[i] = s / l.At(i, i)
+		y[i] = s / li[i]
 	}
-	// Back substitution: Lᵀ·x = y.
-	x := make([]float64, n)
+	// Back substitution: Lᵀ·x = y. The factor is read down column i, a
+	// stride-n walk over the flat array.
+	x := ws.Float64s(n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
-			s -= l.At(k, i) * x[k]
+			s -= ld[k*n+i] * x[k]
 		}
-		x[i] = s / l.At(i, i)
+		x[i] = s / ld[i*n+i]
 	}
 	return x, nil
 }
@@ -70,6 +93,13 @@ func SolveCholesky(a *Dense, b []float64) ([]float64, error) {
 // rows as columns. For the tiny systems in this repository (2–3 unknowns)
 // the normal equations are perfectly adequate.
 func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	return LeastSquaresIn(nil, a, b)
+}
+
+// LeastSquaresIn is LeastSquares with every intermediate (aᵀ, aᵀa, aᵀb, the
+// Cholesky factor, and the solution) borrowed from ws (nil ws allocates).
+// The returned solution is arena-owned: valid only until ws's next Release.
+func LeastSquaresIn(ws *scratch.Arena, a *Dense, b []float64) ([]float64, error) {
 	r, c := a.Dims()
 	if len(b) != r {
 		return nil, fmt.Errorf("%w: lstsq %dx%d with rhs %d", ErrShape, r, c, len(b))
@@ -77,8 +107,8 @@ func LeastSquares(a *Dense, b []float64) ([]float64, error) {
 	if r < c {
 		return nil, fmt.Errorf("%w: underdetermined system %dx%d", ErrShape, r, c)
 	}
-	at := a.T()
-	ata, err := at.Mul(a)
+	at := a.tIn(ws)
+	ata, err := at.mulIn(ws, a)
 	if err != nil {
 		return nil, err
 	}
@@ -92,9 +122,9 @@ func LeastSquares(a *Dense, b []float64) ([]float64, error) {
 	for i := 0; i < c; i++ {
 		ata.Set(i, i, ata.At(i, i)+ridge)
 	}
-	atb, err := at.MulVec(b)
+	atb, err := at.mulVecIn(ws, b)
 	if err != nil {
 		return nil, err
 	}
-	return SolveCholesky(ata, atb)
+	return SolveCholeskyIn(ws, ata, atb)
 }

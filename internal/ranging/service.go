@@ -181,6 +181,36 @@ type Service struct {
 	clocks      []timesync.Clock
 	chn         acoustics.Channel
 	calibOffset float64 // meters subtracted from every estimate (δconst calibration)
+
+	// Measurement scratch, reused across MeasurePair calls. Both buffers are
+	// fully rewritten per measurement (fillRecording overwrites every rec
+	// element; acc is Reset to the NewAccumulator state), so reuse changes no
+	// observable behaviour.
+	acc *signal.Accumulator
+	rec []bool
+}
+
+// recBuf returns the cached recording buffer resized to n samples.
+func (s *Service) recBuf(n int) []bool {
+	if cap(s.rec) < n {
+		s.rec = make([]bool, n)
+	}
+	return s.rec[:n]
+}
+
+// accBuf returns the cached accumulator reset for n samples, rebuilding it
+// only if the buffer length changed.
+func (s *Service) accBuf(n int) (*signal.Accumulator, error) {
+	if s.acc != nil && len(s.acc.Samples()) == n {
+		s.acc.Reset()
+		return s.acc, nil
+	}
+	acc, err := signal.NewAccumulator(n)
+	if err != nil {
+		return nil, err
+	}
+	s.acc = acc
+	return acc, nil
 }
 
 // NewService builds a ranging service simulation for a deployment. The rng
@@ -343,7 +373,7 @@ func (s *Service) fillRecording(rec []bool, r acoustics.Reception, arr, chirpLen
 // chirps, detect with k-of-m thresholding, verify the preceding silence.
 func (s *Service) measureRefined(src, dst int, truth float64) (float64, bool) {
 	bufLen := s.cfg.BufferLen()
-	acc, err := signal.NewAccumulator(bufLen)
+	acc, err := s.accBuf(bufLen)
 	if err != nil {
 		return 0, false
 	}
@@ -355,7 +385,7 @@ func (s *Service) measureRefined(src, dst int, truth float64) (float64, bool) {
 	if chirps > signal.MaxAccumulated {
 		chirps = signal.MaxAccumulated
 	}
-	rec := make([]bool, bufLen)
+	rec := s.recBuf(bufLen)
 	for c := 0; c < chirps; c++ {
 		// Each chirp is re-synchronized by its own radio message, so the
 		// arrival offset is stable across chirps up to sub-sample jitter;
@@ -387,7 +417,7 @@ func (s *Service) measureRefined(src, dst int, truth float64) (float64, bool) {
 // the raw tone-detector output.
 func (s *Service) measureBaseline(src, dst int, truth float64) (float64, bool) {
 	bufLen := s.cfg.BufferLen()
-	rec := make([]bool, bufLen)
+	rec := s.recBuf(bufLen)
 	timingErr := s.timingErrorMeters(src, dst)
 	arr := s.arrivalSample(truth, timingErr)
 

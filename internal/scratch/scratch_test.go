@@ -1,0 +1,118 @@
+package scratch
+
+import "testing"
+
+func TestGrabZeroesReusedMemory(t *testing.T) {
+	a := New()
+	f := a.Float64s(8)
+	for i := range f {
+		f[i] = 3.5
+	}
+	a.Release()
+	g := a.Float64s(8)
+	if &g[0] != &f[0] {
+		t.Fatalf("expected slot reuse after Release")
+	}
+	for i, v := range g {
+		if v != 0 {
+			t.Fatalf("reused slot not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+func TestGrabOrderAndGrowth(t *testing.T) {
+	a := New()
+	x := a.Ints(4)
+	y := a.Ints(4)
+	if &x[0] == &y[0] {
+		t.Fatalf("two live grabs must not alias")
+	}
+	a.Release()
+	// A larger request on a too-small slot reallocates; the slot keeps the
+	// bigger backing for next time.
+	big := a.Ints(16)
+	a.Release()
+	big2 := a.Ints(16)
+	if &big[0] != &big2[0] {
+		t.Fatalf("grown slot should be reused")
+	}
+}
+
+func TestCapVariants(t *testing.T) {
+	a := New()
+	h := a.IntCap(5)
+	if len(h) != 0 || cap(h) < 5 {
+		t.Fatalf("IntCap: len=%d cap=%d", len(h), cap(h))
+	}
+	h = append(h, 1, 2, 3)
+	a.Release()
+	h2 := a.IntCap(5)
+	if len(h2) != 0 {
+		t.Fatalf("IntCap after release: len=%d", len(h2))
+	}
+}
+
+func TestNilArenaFallsBackToMake(t *testing.T) {
+	var a *Arena
+	f := a.Float64s(3)
+	if len(f) != 3 {
+		t.Fatalf("nil arena Float64s len=%d", len(f))
+	}
+	for _, v := range f {
+		if v != 0 {
+			t.Fatalf("nil arena slice not zeroed")
+		}
+	}
+	if c := a.Float64Cap(7); len(c) != 0 || cap(c) != 7 {
+		t.Fatalf("nil arena Float64Cap: len=%d cap=%d", len(c), cap(c))
+	}
+	a.Release() // must not panic
+	calls := 0
+	a.Stash("k", func() any { calls++; return calls })
+	a.Stash("k", func() any { calls++; return calls })
+	if calls != 2 {
+		t.Fatalf("nil arena Stash should build every call, got %d", calls)
+	}
+}
+
+type resettable struct{ resets int }
+
+func (r *resettable) Reset() { r.resets++ }
+
+func TestStashPersistsAndResets(t *testing.T) {
+	a := New()
+	builds := 0
+	get := func() *resettable {
+		return a.Stash("ws", func() any { builds++; return &resettable{} }).(*resettable)
+	}
+	w1 := get()
+	w2 := get()
+	if w1 != w2 || builds != 1 {
+		t.Fatalf("stash must build once: builds=%d", builds)
+	}
+	a.Release()
+	if w1.resets != 1 {
+		t.Fatalf("Release must call Reset, got %d", w1.resets)
+	}
+	if get() != w1 {
+		t.Fatalf("stash must survive Release")
+	}
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	a := New()
+	work := func() {
+		f := a.Float64s(64)
+		f[0] = 1
+		_ = a.Ints(16)
+		_ = a.Bools(8)
+		_ = a.Points(4)
+		h := a.Float64Cap(32)
+		_ = append(h, 1)
+		a.Release()
+	}
+	work() // warm the slots
+	if n := testing.AllocsPerRun(100, work); n != 0 {
+		t.Fatalf("steady-state allocs per run = %v, want 0", n)
+	}
+}

@@ -1,6 +1,10 @@
 package signal
 
-import "math"
+import (
+	"math"
+
+	"resilientloc/internal/scratch"
+)
 
 // SlidingDFTWindow is the window length of the paper's XSM detection filter
 // (Figure 9): 36 samples, the least common multiple of the two beacon
@@ -78,12 +82,87 @@ func (f *SlidingDFT) Filter(sample float64) (p4, p6 float64) {
 // FilterSeries runs the filter over an entire sampled waveform and returns
 // the two band-power series, each the same length as the input.
 func (f *SlidingDFT) FilterSeries(samples []float64) (p4, p6 []float64) {
-	p4 = make([]float64, len(samples))
-	p6 = make([]float64, len(samples))
+	return f.FilterSeriesIn(nil, samples)
+}
+
+// FilterSeriesIn is FilterSeries with the output series borrowed from ws
+// (nil ws allocates). The returned slices are arena-owned: valid only until
+// the arena's next Release.
+func (f *SlidingDFT) FilterSeriesIn(ws *scratch.Arena, samples []float64) (p4, p6 []float64) {
+	p4 = ws.Float64s(len(samples))
+	p6 = ws.Float64s(len(samples))
 	for i, s := range samples {
 		p4[i], p6[i] = f.Filter(s)
 	}
 	return p4, p6
+}
+
+// filterBand4Series fills out with the fs/4 band-power series, bit-identical
+// to FilterSeries' p4 output: the two bins share only the sample delta, so
+// skipping the fs/6 accumulator updates performs exactly the same operations
+// on the fs/4 state.
+func filterBand4Series(out, samples []float64) {
+	var buf [SlidingDFTWindow]float64
+	var re4, im4 float64
+	n, m := 0, 0 // buffer index mod 36, phase mod 4
+	for i, s := range samples {
+		delta := s - buf[n]
+		buf[n] = s
+		switch m {
+		case 0:
+			re4 += delta
+		case 1:
+			im4 += delta
+		case 2:
+			re4 -= delta
+		case 3:
+			im4 -= delta
+		}
+		if n++; n == SlidingDFTWindow {
+			n = 0
+		}
+		if m++; m == 4 {
+			m = 0
+		}
+		out[i] = re4*re4 + im4*im4
+	}
+}
+
+// filterBand6Series fills out with the fs/6 band-power series, bit-identical
+// to FilterSeries' p6 output (see filterBand4Series).
+func filterBand6Series(out, samples []float64) {
+	var buf [SlidingDFTWindow]float64
+	var re6, im6 float64
+	n, k := 0, 0 // buffer index mod 36, phase mod 6
+	for i, s := range samples {
+		delta := s - buf[n]
+		buf[n] = s
+		switch k {
+		case 0:
+			re6 += 2 * delta
+		case 1:
+			re6 += delta
+			im6 += delta
+		case 2:
+			re6 -= delta
+			im6 += delta
+		case 3:
+			re6 -= 2 * delta
+		case 4:
+			re6 -= delta
+			im6 -= delta
+		case 5:
+			re6 += delta
+			im6 -= delta
+		}
+		if n++; n == SlidingDFTWindow {
+			n = 0
+		}
+		if k++; k == 6 {
+			k = 0
+		}
+		out[i] = (re6*re6 + 3*im6*im6) / 2
+	}
 }
 
 // DFTDetector detects chirps in a raw sampled waveform using the sliding
@@ -137,23 +216,38 @@ func DefaultDFTDetector() DFTDetector {
 // Detect returns the sample indices at which chirps are detected in the
 // waveform.
 func (d DFTDetector) Detect(samples []float64) []int {
+	return d.DetectIn(nil, samples)
+}
+
+// DetectIn is Detect with every workspace — the monitored band-power series,
+// the windowed mean square, the noise floor, and the min-filter deque —
+// borrowed from ws instead of allocated (nil ws allocates). In the engine's
+// steady state the detection path performs zero allocations per trial. The
+// returned hit slice is arena-owned: valid only until ws's next Release.
+func (d DFTDetector) DetectIn(ws *scratch.Arena, samples []float64) []int {
 	if len(samples) < SlidingDFTWindow {
 		return nil
 	}
-	var f SlidingDFT
-	p4, p6 := f.FilterSeries(samples)
-	band := p6
+	// Only the monitored band's series is needed, and the two bins' states
+	// are independent, so a band-specific pass halves the filter work while
+	// performing bit-identical operations on the monitored accumulators.
+	band := ws.Float64s(len(samples))
 	bandScale := 0.5 // Figure 9's (re6²+3·im6²)/2 equals 2·|S|²; undo it
 	if d.Band == 4 {
-		band = p4
+		filterBand4Series(band, samples)
 		bandScale = 1
+	} else {
+		filterBand6Series(band, samples)
 	}
 
 	// Per-bin noise power: by Parseval a W-sample window of variance-σ²
 	// noise puts W·σ² in each bin on average; σ² comes from the sliding
 	// minimum of the windowed mean square.
-	meanSq := slidingMeanSquare(samples, SlidingDFTWindow)
-	floor := slidingMin(meanSq, d.noiseWindow())
+	meanSq := ws.Float64s(len(samples))
+	slidingMeanSquareInto(meanSq, samples, SlidingDFTWindow)
+	nw := d.noiseWindow()
+	floor := ws.Float64s(len(samples))
+	slidingMinInto(floor, ws.Ints(nw+1), meanSq, nw)
 	const w = float64(SlidingDFTWindow)
 
 	margin := d.Margin
@@ -165,7 +259,9 @@ func (d DFTDetector) Detect(samples []float64) []int {
 		minRun = 1
 	}
 
-	var hits []int
+	// Each hit consumes at least minRun over-margin samples, which bounds
+	// the hit count and keeps the append below allocation-free.
+	hits := ws.IntCap(len(samples)/minRun + 1)
 	run := 0
 	cooldown := 0
 	for i := range band {
@@ -185,6 +281,9 @@ func (d DFTDetector) Detect(samples []float64) []int {
 			run = 0
 		}
 	}
+	if len(hits) == 0 {
+		return nil
+	}
 	return hits
 }
 
@@ -199,6 +298,13 @@ func (d DFTDetector) noiseWindow() int {
 // window of length w at each index (shorter at the start).
 func slidingMeanSquare(samples []float64, w int) []float64 {
 	out := make([]float64, len(samples))
+	slidingMeanSquareInto(out, samples, w)
+	return out
+}
+
+// slidingMeanSquareInto is slidingMeanSquare writing into out, which must
+// have the same length as samples.
+func slidingMeanSquareInto(out, samples []float64, w int) {
 	var sum float64
 	for i, s := range samples {
 		sum += s * s
@@ -211,25 +317,49 @@ func slidingMeanSquare(samples []float64, w int) []float64 {
 		}
 		out[i] = sum / float64(n)
 	}
-	return out
 }
 
 // slidingMin returns, at each index, the minimum of xs over the trailing
 // window of length w, using a monotonic deque for O(n) total work.
 func slidingMin(xs []float64, w int) []float64 {
 	out := make([]float64, len(xs))
-	deque := make([]int, 0, w) // indices with increasing values
-	for i, x := range xs {
-		for len(deque) > 0 && xs[deque[len(deque)-1]] >= x {
-			deque = deque[:len(deque)-1]
-		}
-		deque = append(deque, i)
-		if deque[0] <= i-w {
-			deque = deque[1:]
-		}
-		out[i] = xs[deque[0]]
-	}
+	slidingMinInto(out, make([]int, w+1), xs, w)
 	return out
+}
+
+// slidingMinInto is slidingMin writing into out (same length as xs), with
+// the monotonic deque held in ring, a circular index buffer of length ≥ w+1.
+// The ring replaces the old `deque = deque[1:]` head pop, which leaked
+// capacity from the front and forced append regrowth on long waveforms; here
+// head and tail just wrap.
+func slidingMinInto(out []float64, ring []int, xs []float64, w int) {
+	n := len(ring)
+	head, count := 0, 0 // deque occupies ring[head … head+count) circularly
+	for i, x := range xs {
+		for count > 0 {
+			back := head + count - 1
+			if back >= n {
+				back -= n
+			}
+			if xs[ring[back]] < x {
+				break
+			}
+			count--
+		}
+		tail := head + count
+		if tail >= n {
+			tail -= n
+		}
+		ring[tail] = i
+		count++
+		if ring[head] <= i-w {
+			if head++; head == n {
+				head = 0
+			}
+			count--
+		}
+		out[i] = xs[ring[head]]
+	}
 }
 
 // GoertzelPower computes the DFT bin power of samples at normalized

@@ -1,0 +1,115 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resilientloc/internal/scratch"
+)
+
+// sameF64 reports bitwise equality of two float64 slices (NaNs and signed
+// zeros included): the scratch-reuse contract is bit-identical output, not
+// approximate equality.
+func sameF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDetectInMatchesDetect: across randomized waveforms, the arena-backed
+// detection path must produce exactly the hits of the allocating path, with
+// the arena reused (and therefore dirty) between iterations.
+func TestDetectInMatchesDetect(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	det := DefaultDFTDetector()
+	ws := scratch.New()
+	for iter := 0; iter < 40; iter++ {
+		cfg := DefaultSynth()
+		cfg.NoiseStd = float64(rng.Intn(1200))
+		cfg.Chirps = 1 + rng.Intn(5)
+		cfg.Lead = 100 + rng.Intn(400)
+		wave, err := cfg.Generate(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := det.Detect(wave)
+		got := det.DetectIn(ws, wave)
+		if !sameInts(want, got) {
+			t.Fatalf("iter %d: DetectIn %v != Detect %v", iter, got, want)
+		}
+		if (want == nil) != (got == nil) {
+			t.Fatalf("iter %d: nilness differs", iter)
+		}
+		ws.Release()
+	}
+}
+
+// TestFilterSeriesInMatchesFilterSeries checks the flattened single-band
+// power series against the reference two-band filter, bit for bit.
+func TestFilterSeriesInMatchesFilterSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	var f SlidingDFT
+	ws := scratch.New()
+	for iter := 0; iter < 20; iter++ {
+		n := 64 + rng.Intn(4000)
+		wave := make([]float64, n)
+		for i := range wave {
+			wave[i] = rng.NormFloat64() * 500
+		}
+		f.Reset()
+		wantP4, wantP6 := f.FilterSeries(wave)
+		f.Reset()
+		gotP4, gotP6 := f.FilterSeriesIn(ws, wave)
+		if !sameF64(wantP4, gotP4) || !sameF64(wantP6, gotP6) {
+			t.Fatalf("iter %d: arena-backed FilterSeriesIn differs from FilterSeries", iter)
+		}
+		ws.Release()
+	}
+}
+
+// TestGenerateIntoMatchesGenerate: synthesizing into a reused (dirty) buffer
+// from a precomputed template must consume the RNG identically and produce
+// bit-identical samples, including signed zeros in the noise floor.
+func TestGenerateIntoMatchesGenerate(t *testing.T) {
+	ws := scratch.New()
+	for iter := 0; iter < 20; iter++ {
+		cfg := DefaultSynth()
+		cfg.NoiseStd = float64(iter * 60)
+		cfg.Chirps = 1 + iter%5
+		tmpl, err := cfg.Template()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cfg.Generate(rand.New(rand.NewSource(int64(500 + iter))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ws.Float64s(cfg.TotalLen())
+		if err := cfg.GenerateInto(out, tmpl, rand.New(rand.NewSource(int64(500+iter)))); err != nil {
+			t.Fatal(err)
+		}
+		if !sameF64(want, out) {
+			t.Fatalf("iter %d: GenerateInto differs from Generate", iter)
+		}
+		ws.Release()
+	}
+}
