@@ -9,12 +9,19 @@
 //	experiments [-seed N] [-only fig06,fig18] [-parallel W] [-json]
 //	            [-suite-parallel C] [-cache DIR | -no-cache] [-cache-gc=off]
 //	            [-progress] [-progress-refresh 250ms]
+//	experiments -list
+//	experiments -only maxrange -param rounds=10
 //	experiments -spec jobs.json
+//	experiments -sweep sweep.json
 //
 // Every invocation first compiles its selection into declarative job specs
 // (spec.JobSpec) and executes them through the unified runner; -spec skips
 // the compilation and runs a ready-made spec file (one JSON object or an
-// array of them, kind "figure"), exactly as locd would run the same specs.
+// array of them, kind "figure"), exactly as locd would run the same specs,
+// and -sweep expands a sweep document (spec template + parameter grid) into
+// one job per grid point. Experiments that declare a parameter schema
+// (-list prints it) accept -param name=value overrides; everything else is
+// a fixed reproduction whose operating point is its definition.
 //
 // Repeated runs hit the on-disk result cache (keyed by scenario, seed,
 // trial count, shard size, and a fingerprint of the binary) and skip all
@@ -51,11 +58,19 @@ func main() {
 }
 
 // buildSpecs compiles the CLI selection into figure job specs: from a spec
-// file when -spec is given, else from -only/-seed.
-func buildSpecs(opts run.Options, only, specFile string) ([]spec.JobSpec, error) {
-	if specFile != "" {
-		if only != "" {
-			return nil, fmt.Errorf("use either -only or -spec, not both")
+// file when -spec is given, from an expanded sweep document when -sweep is
+// given, else from -only/-seed/-param.
+func buildSpecs(opts run.Options, only, specFile, sweepFile string) ([]spec.JobSpec, error) {
+	if specFile != "" || sweepFile != "" {
+		if only != "" || (specFile != "" && sweepFile != "") {
+			return nil, fmt.Errorf("use exactly one of -only, -spec, or -sweep, not both")
+		}
+		if sweepFile != "" {
+			sw, err := spec.LoadSweepFile(sweepFile)
+			if err != nil {
+				return nil, err
+			}
+			return sw.Expand()
 		}
 		return spec.LoadFileOfKind(specFile, spec.KindFigure)
 	}
@@ -80,11 +95,14 @@ func realMain(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var opts run.Options
 	opts.RegisterCommon(fs)
+	opts.RegisterParams(fs)
 	opts.RegisterSuiteParallel(fs)
 	var prof run.ProfileOptions
 	prof.Register(fs)
+	list := fs.Bool("list", false, "list experiment IDs and their parameter schemas, then exit")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	specFile := fs.String("spec", "", "JSON job-spec file to execute instead of -only selection")
+	sweepFile := fs.String("sweep", "", "JSON sweep file (spec template + parameter grid) to expand and execute")
 	workers := fs.String("workers", "",
 		"comma-separated locd worker URLs: distribute each figure's trials across them instead of running locally")
 	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed figure (0 = one per worker; needs -workers)")
@@ -114,12 +132,15 @@ func realMain(args []string, out io.Writer) error {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 
-	if *specFile != "" {
-		if err := run.RejectSpecParameterFlags(fs, "seed"); err != nil {
+	if *list {
+		return printList(out)
+	}
+	if *specFile != "" || *sweepFile != "" {
+		if err := run.RejectSpecParameterFlags(fs, "seed", "param"); err != nil {
 			return err
 		}
 	}
-	specs, err := buildSpecs(opts, *only, *specFile)
+	specs, err := buildSpecs(opts, *only, *specFile, *sweepFile)
 	if err != nil {
 		return err
 	}
@@ -172,6 +193,23 @@ func realMain(args []string, out io.Writer) error {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(results)
+	}
+	return nil
+}
+
+// printList writes each experiment ID; parameterized experiments also list
+// their schema, one "-param" line per declared axis.
+func printList(out io.Writer) error {
+	for _, e := range experiments.All() {
+		fmt.Fprintf(out, "%s\n", e.ID)
+		for _, p := range e.Params {
+			constraint := p.Constraint()
+			if constraint != "" {
+				constraint = "  " + constraint
+			}
+			fmt.Fprintf(out, "    %-16s %-6s default %-10s%s  %s\n",
+				p.Name, p.Kind, p.Default.String(), constraint, p.Help)
+		}
 	}
 	return nil
 }

@@ -149,6 +149,64 @@ func TestSpecFileErrors(t *testing.T) {
 	}
 }
 
+// TestListAndParams: -list prints every experiment ID plus the parameter
+// schema of the parameterized ones, and -param selects an operating point
+// (validated against the schema) for -only runs.
+func TestListAndParams(t *testing.T) {
+	var list bytes.Buffer
+	if err := realMain([]string{"-list"}, &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig11", "maxrange", "rounds", "default 40"} {
+		if !strings.Contains(list.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, list.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := realMain([]string{"-only", "maxrange", "-param", "rounds=5",
+		"-seed", "2", "-no-cache", "-progress=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "maxrange") {
+		t.Errorf("parameterized run output incomplete:\n%s", buf.String())
+	}
+
+	if err := realMain([]string{"-only", "maxrange", "-param", "rounds=0", "-no-cache"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range param accepted: %v", err)
+	}
+	if err := realMain([]string{"-only", "fig11", "-param", "rounds=5", "-no-cache"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "takes no parameters") {
+		t.Errorf("param on a fixed figure accepted: %v", err)
+	}
+}
+
+// TestSweepFile: -sweep expands a figure template across its grid; -param
+// conflicts with the file like the other job-parameter flags.
+func TestSweepFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	doc := `{"template":{"kind":"figure","id":"maxrange"},"grid":{"rounds":[4,5]},"seeds":[2]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := realMain([]string{"-sweep", path, "-no-cache", "-progress=false", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var results []*experiments.Result
+	if err := json.Unmarshal(buf.Bytes(), &results); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, buf.String())
+	}
+	if len(results) != 2 || results[0].ID != "maxrange" || results[1].ID != "maxrange" {
+		t.Errorf("sweep results %+v, want two maxrange points", results)
+	}
+	if err := realMain([]string{"-sweep", path, "-param", "rounds=9"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-param") {
+		t.Errorf("-param with -sweep accepted: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := realMain([]string{"-only", "fig99"}, &bytes.Buffer{}); err == nil {
 		t.Error("want error for unknown experiment")

@@ -9,6 +9,7 @@
 //
 //	locc -workers http://host1:8090,http://host2:8090 -spec jobs.json [-json]
 //	locc -workers ... -kind scenario -id multilat-town [-seed S] [-trials N] [-shard-size N]
+//	locc -workers ... -kind scenario -id mobility-waypoint -param speed_mps=2.5
 //	locc -workers ... -kind figure -id maxrange [-seed S] [-ranges N] [-stall-timeout 5m]
 //	locc -workers ... -kind figure -id maxrange -trace out.json
 //
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"resilientloc/internal/engine/coord"
+	"resilientloc/internal/engine/params"
 	"resilientloc/internal/engine/spec"
 	"resilientloc/internal/obs"
 )
@@ -47,11 +49,16 @@ func main() {
 }
 
 // buildSpecs compiles the CLI selection into job specs: a spec file, or a
-// single job from -kind/-id plus the parameter flags.
-func buildSpecs(specFile, kind, id string, seed int64, trials, shardSize int) ([]spec.JobSpec, error) {
+// single job from -kind/-id plus the parameter flags (including any -param
+// operating-point selections, which become part of the job's content
+// address exactly as in a spec file's params object).
+func buildSpecs(specFile, kind, id string, seed int64, trials, shardSize int, p params.Map) ([]spec.JobSpec, error) {
 	if specFile != "" {
 		if kind != "" || id != "" {
 			return nil, fmt.Errorf("use either -spec or -kind/-id, not both")
+		}
+		if len(p) > 0 {
+			return nil, fmt.Errorf("-param cannot be combined with a spec file, which carries its own job parameters")
 		}
 		return spec.LoadFile(specFile)
 	}
@@ -59,6 +66,9 @@ func buildSpecs(specFile, kind, id string, seed int64, trials, shardSize int) ([
 		return nil, fmt.Errorf("nothing to run: give -spec file.json or -kind KIND -id ID")
 	}
 	sp := spec.JobSpec{Kind: kind, ID: id, Seed: seed, Trials: trials, ShardSize: shardSize}
+	if len(p) > 0 {
+		sp.Params = p.Clone()
+	}
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
@@ -77,6 +87,8 @@ func realMain(args []string, out, errOut io.Writer) error {
 	seed := fs.Int64("seed", 1, "base random seed")
 	trials := fs.Int("trials", 0, "trial-count override (scenario jobs only)")
 	shardSize := fs.Int("shard-size", 0, "shard-size override (scenario jobs only)")
+	var pf params.FlagValue
+	fs.Var(&pf, "param", "job parameter as name=value (repeatable; parameterized factories and experiments only)")
 	asJSON := fs.Bool("json", false, "emit results as a JSON array (figures and reports, naked)")
 	progress := fs.Bool("progress", true,
 		"print aggregate trial progress and a live per-worker scoreboard to stderr")
@@ -89,7 +101,7 @@ func realMain(args []string, out, errOut io.Writer) error {
 	if len(workers) == 0 {
 		return fmt.Errorf("no workers: -workers http://host:8090[,http://host2:8090] is required")
 	}
-	specs, err := buildSpecs(*specFile, *kind, *id, *seed, *trials, *shardSize)
+	specs, err := buildSpecs(*specFile, *kind, *id, *seed, *trials, *shardSize, pf.M)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/params"
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
 	"resilientloc/internal/experiments"
@@ -109,12 +110,53 @@ func TestDistributedFigureMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestDistributedParamPointMatchesLocal: a parameterized factory point
+// addressed with -param distributes across the fleet and merges to the same
+// aggregates as the local runner — the operating point travels in the
+// sub-jobs' content addresses.
+func TestDistributedParamPointMatchesLocal(t *testing.T) {
+	workers := twoWorkers(t)
+	var buf bytes.Buffer
+	err := realMain([]string{"-workers", workers, "-kind", "scenario", "-id", "mobility-waypoint",
+		"-param", "speed_mps=2.5", "-seed", "2", "-trials", "4", "-json"}, &buf, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*engine.Report
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, buf.String())
+	}
+	if len(reports) != 1 || reports[0].Scenario != "mobility-waypoint" || reports[0].Trials != 4 {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+
+	sess, err := run.NewSession(run.Options{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _, err := run.ExecuteSpec(sess, spec.JobSpec{Kind: spec.KindScenario, ID: "mobility-waypoint",
+		Seed: 2, Trials: 4, Params: params.Map{"speed_mps": params.Num(2.5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := *reports[0], *val.Report
+	got.ClearExecutionMeta()
+	want.ClearExecutionMeta()
+	gj, _ := json.Marshal(&got)
+	wj, _ := json.Marshal(&want)
+	if string(gj) != string(wj) {
+		t.Errorf("distributed parameterized aggregates diverged\n got %s\nwant %s", gj, wj)
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	for _, args := range [][]string{
 		{},                         // no workers
 		{"-workers", "http://x:1"}, // nothing to run
-		{"-workers", "http://x:1", "-spec", "a.json", "-id", "b", "-kind", "scenario"}, // both selections
-		{"-workers", "http://x:1", "-kind", "bogus", "-id", "x"},                       // bad kind
+		{"-workers", "http://x:1", "-spec", "a.json", "-id", "b", "-kind", "scenario"},                  // both selections
+		{"-workers", "http://x:1", "-kind", "bogus", "-id", "x"},                                        // bad kind
+		{"-workers", "http://x:1", "-spec", "a.json", "-param", "x=1"},                                  // params vs spec file
+		{"-workers", "http://x:1", "-kind", "scenario", "-id", "mobility-waypoint", "-param", "warp=9"}, // unknown param
 	} {
 		if err := realMain(args, io.Discard, io.Discard); err == nil {
 			t.Errorf("args %v accepted", args)

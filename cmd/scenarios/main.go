@@ -6,15 +6,24 @@
 //
 //	scenarios -list
 //	scenarios -run multilat-town,ranging-grass-refined [-trials N] [-parallel W] [-seed S] [-json]
+//	scenarios -run mobility-waypoint -param speed_mps=2.5 -param epoch_s=8
 //	scenarios -suite multilat [-suite-parallel C] [-json]
 //	scenarios -run all [-cache DIR | -no-cache] [-cache-gc=off] [-progress]
 //	scenarios -spec jobs.json
+//	scenarios -sweep sweep.json
 //
 // Every invocation first compiles its selection into declarative job specs
-// (spec.JobSpec: scenario name, seed, trial/shard overrides) and executes
-// them through the unified runner; -spec runs a ready-made spec file (one
-// JSON object or an array, kind "scenario") instead — the same documents
-// locd accepts over HTTP.
+// (spec.JobSpec: scenario name, seed, trial/shard overrides, factory
+// params) and executes them through the unified runner; -spec runs a
+// ready-made spec file (one JSON object or an array, kind "scenario")
+// instead — the same documents locd accepts over HTTP — and -sweep expands
+// a sweep document (spec template + parameter grid) into one job per grid
+// point, exactly as locd's /v1/sweeps endpoint does.
+//
+// -run accepts both library scenarios and parameterized factories; the
+// repeatable -param flag selects a factory's operating point (-list prints
+// each factory's schema), and the params become part of the job's content
+// address, so every distinct operating point caches separately.
 //
 // All metric aggregates are deterministic per seed at any -parallel value
 // (only the reported worker count and elapsed time vary), which is what
@@ -61,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	opts.RegisterCommon(fs)
 	opts.RegisterTrials(fs)
 	opts.RegisterShardSize(fs)
+	opts.RegisterParams(fs)
 	opts.RegisterSuiteParallel(fs)
 	var prof enginerun.ProfileOptions
 	prof.Register(fs)
@@ -68,6 +78,7 @@ func run(args []string, out io.Writer) error {
 	runNames := fs.String("run", "", "comma-separated scenario names to run, or \"all\"")
 	suite := fs.String("suite", "", "run every scenario of the named suite")
 	specFile := fs.String("spec", "", "JSON job-spec file to execute instead of -run/-suite selection")
+	sweepFile := fs.String("sweep", "", "JSON sweep file (spec template + parameter grid) to expand and execute")
 	workers := fs.String("workers", "",
 		"comma-separated locd worker URLs: distribute each scenario's trials across them instead of running locally")
 	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed scenario (0 = one per worker; needs -workers)")
@@ -97,16 +108,16 @@ func run(args []string, out io.Writer) error {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 
-	if *list || (*runNames == "" && *suite == "" && *specFile == "") {
+	if *list || (*runNames == "" && *suite == "" && *specFile == "" && *sweepFile == "") {
 		return printList(out)
 	}
 
-	if *specFile != "" {
-		if err := enginerun.RejectSpecParameterFlags(fs, "seed", "trials", "shard-size"); err != nil {
+	if *specFile != "" || *sweepFile != "" {
+		if err := enginerun.RejectSpecParameterFlags(fs, "seed", "trials", "shard-size", "param"); err != nil {
 			return err
 		}
 	}
-	specs, err := buildSpecs(opts, *runNames, *suite, *specFile)
+	specs, err := buildSpecs(opts, *runNames, *suite, *specFile, *sweepFile)
 	if err != nil {
 		return err
 	}
@@ -207,27 +218,34 @@ func runDistributed(ctx context.Context, out io.Writer, specs []spec.JobSpec, wo
 }
 
 // buildSpecs compiles the CLI selection into scenario job specs: from a
-// spec file when -spec is given, else from -run/-suite plus the
-// trial/shard/seed flags.
-func buildSpecs(opts enginerun.Options, runNames, suite, specFile string) ([]spec.JobSpec, error) {
-	if specFile != "" {
-		if runNames != "" || suite != "" {
-			return nil, fmt.Errorf("use either -run/-suite or -spec, not both")
+// spec file when -spec is given, from an expanded sweep document when
+// -sweep is given, else from -run/-suite plus the trial/shard/seed/param
+// flags.
+func buildSpecs(opts enginerun.Options, runNames, suite, specFile, sweepFile string) ([]spec.JobSpec, error) {
+	if specFile != "" || sweepFile != "" {
+		if runNames != "" || suite != "" || (specFile != "" && sweepFile != "") {
+			return nil, fmt.Errorf("use exactly one of -run/-suite, -spec, or -sweep, not both")
+		}
+		if sweepFile != "" {
+			sw, err := spec.LoadSweepFile(sweepFile)
+			if err != nil {
+				return nil, err
+			}
+			return sw.Expand()
 		}
 		return spec.LoadFileOfKind(specFile, spec.KindScenario)
 	}
-	selected, err := selectScenarios(runNames, suite)
+	names, err := selectNames(runNames, suite)
 	if err != nil {
 		return nil, err
-	}
-	names := make([]string, len(selected))
-	for i, s := range selected {
-		names[i] = s.Name
 	}
 	return opts.Specs(spec.KindScenario, names), nil
 }
 
-func selectScenarios(runNames, suite string) ([]engine.Scenario, error) {
+// selectNames resolves -run/-suite into scenario names: suites and "all"
+// draw from the library; explicit -run names may also address parameterized
+// factories (whose operating point the -param flags select).
+func selectNames(runNames, suite string) ([]string, error) {
 	if suite != "" {
 		if runNames != "" {
 			return nil, fmt.Errorf("use either -run or -suite, not both")
@@ -236,21 +254,31 @@ func selectScenarios(runNames, suite string) ([]engine.Scenario, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown suite %q", suite)
 		}
-		return st.Scenarios, nil
+		names := make([]string, len(st.Scenarios))
+		for i, s := range st.Scenarios {
+			names[i] = s.Name
+		}
+		return names, nil
 	}
 	if runNames == "all" {
-		return engine.Library(), nil
+		lib := engine.Library()
+		names := make([]string, len(lib))
+		for i, s := range lib {
+			names[i] = s.Name
+		}
+		return names, nil
 	}
-	var selected []engine.Scenario
+	var names []string
 	for _, name := range strings.Split(runNames, ",") {
 		name = strings.TrimSpace(name)
-		s, ok := engine.Find(name)
-		if !ok {
+		_, inLibrary := engine.Find(name)
+		_, isFactory := engine.FindFactory(name)
+		if !inLibrary && !isFactory {
 			return nil, fmt.Errorf("unknown scenario %q", name)
 		}
-		selected = append(selected, s)
+		names = append(names, name)
 	}
-	return selected, nil
+	return names, nil
 }
 
 func printList(out io.Writer) error {
@@ -258,6 +286,18 @@ func printList(out io.Writer) error {
 		fmt.Fprintf(out, "suite %s — %s\n", suite.Name, suite.Description)
 		for _, s := range suite.Scenarios {
 			fmt.Fprintf(out, "  %-28s %4d trials  %s\n", s.Name, s.Trials, s.Description)
+		}
+	}
+	fmt.Fprintf(out, "parameterized factories — select an operating point with repeated -param name=value\n")
+	for _, f := range engine.Factories() {
+		fmt.Fprintf(out, "  %-28s %s\n", f.Name, f.Description)
+		for _, p := range f.Params {
+			constraint := p.Constraint()
+			if constraint != "" {
+				constraint = "  " + constraint
+			}
+			fmt.Fprintf(out, "      %-16s %-6s default %-10s%s  %s\n",
+				p.Name, p.Kind, p.Default.String(), constraint, p.Help)
 		}
 	}
 	return nil

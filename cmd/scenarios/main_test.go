@@ -164,6 +164,84 @@ func TestSpecFileErrors(t *testing.T) {
 	}
 }
 
+// TestFactoryScenarioWithParams: -run addresses a parameterized factory and
+// the repeatable -param flag selects its operating point; -list prints the
+// factory schema the flags are validated against.
+func TestFactoryScenarioWithParams(t *testing.T) {
+	var list bytes.Buffer
+	if err := run([]string{"-list"}, &list); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"parameterized factories", "mobility-waypoint", "speed_mps", "ranging-mixed-env", "boundary_frac"} {
+		if !strings.Contains(list.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, list.String())
+		}
+	}
+
+	var buf bytes.Buffer
+	err := run([]string{"-run", "mobility-waypoint", "-param", "speed_mps=2.5",
+		"-trials", "2", "-seed", "2", "-no-cache", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []engine.Report
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, buf.String())
+	}
+	if len(reports) != 1 || reports[0].Scenario != "mobility-waypoint" || reports[0].Trials != 2 {
+		t.Errorf("unexpected reports: %+v", reports)
+	}
+
+	// Out-of-schema points are rejected by name before any trial runs.
+	if err := run([]string{"-run", "mobility-waypoint", "-param", "warp=9", "-no-cache"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), `unknown parameter "warp"`) {
+		t.Errorf("bogus param accepted: %v", err)
+	}
+	if err := run([]string{"-run", "multilat-town", "-param", "speed_mps=1", "-no-cache"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "takes no parameters") {
+		t.Errorf("param on a library scenario accepted: %v", err)
+	}
+}
+
+// TestSweepFileExpandsToPointRuns: -sweep expands a template + grid into one
+// job per point, and each point's output is byte-identical to running it
+// directly via -param (the workers/elapsed header fragment aside).
+func TestSweepFileExpandsToPointRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	doc := `{"template":{"kind":"scenario","id":"mobility-waypoint","seed":2,"trials":2},
+	         "grid":{"speed_mps":[0,2.5]}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	normalize := func(s string) string {
+		return regexp.MustCompile(`\d+ workers, \d+\.\d+s`).ReplaceAllString(s, "N workers")
+	}
+	var swept bytes.Buffer
+	if err := run([]string{"-sweep", path, "-no-cache"}, &swept); err != nil {
+		t.Fatal(err)
+	}
+	var points bytes.Buffer
+	for _, speed := range []string{"0", "2.5"} {
+		if err := run([]string{"-run", "mobility-waypoint", "-param", "speed_mps=" + speed,
+			"-trials", "2", "-seed", "2", "-no-cache"}, &points); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if normalize(swept.String()) != normalize(points.String()) {
+		t.Errorf("-sweep output differs from per-point -param runs\n--- sweep ---\n%s--- points ---\n%s",
+			swept.String(), points.String())
+	}
+
+	// Sweep files pin every job parameter, so explicit ones are rejected.
+	if err := run([]string{"-sweep", path, "-param", "epoch_s=8"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-param") {
+		t.Errorf("-param with -sweep accepted: %v", err)
+	}
+	if err := run([]string{"-sweep", path, "-spec", path}, &bytes.Buffer{}); err == nil {
+		t.Error("-sweep with -spec accepted")
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	cases := [][]string{
 		{"-run", "nope"},

@@ -67,6 +67,15 @@ type Key struct {
 	// store different aggregates; full runs never cache retained values,
 	// so the flag stays false (omitted) for them.
 	Retained bool `json:"retained,omitempty"`
+	// Params is the canonical encoding of the job's fully-resolved
+	// operating point (params.Map.Canonical of spec.Resolved.Params), empty
+	// for param-less jobs — whose key hashes therefore predate the field.
+	// It is a string, not a map, because Keys must stay comparable for the
+	// in-memory index; resolution has already filled defaults, so a spec
+	// spelling out a default and one omitting it share the entry. Without
+	// it, nearby operating points that truncate to one scenario name
+	// ("ranging-noise-6db" covers every delta in [6, 7)) would collide.
+	Params string `json:"params,omitempty"`
 }
 
 // Hash returns the key's content address: the hex SHA-256 of its canonical

@@ -28,6 +28,7 @@ func TestKeyHashSensitivity(t *testing.T) {
 		"trials":      {Scenario: "s", Seed: 1, Trials: 9, ShardSize: 2, Fingerprint: "abc"},
 		"shard size":  {Scenario: "s", Seed: 1, Trials: 8, ShardSize: 3, Fingerprint: "abc"},
 		"fingerprint": {Scenario: "s", Seed: 1, Trials: 8, ShardSize: 2, Fingerprint: "xyz"},
+		"params":      {Scenario: "s", Seed: 1, Trials: 8, ShardSize: 2, Fingerprint: "abc", Params: `{"delta_db":6.5}`},
 	}
 	for field, k := range variants {
 		if k.Hash() == baseHash {

@@ -39,6 +39,7 @@ import (
 
 	"resilientloc/internal/engine"
 	"resilientloc/internal/engine/cache"
+	"resilientloc/internal/engine/params"
 	"resilientloc/internal/engine/spec"
 	"resilientloc/internal/obs"
 )
@@ -108,6 +109,10 @@ type Options struct {
 	// Warnings receives non-fatal diagnostics (e.g. a cache entry that no
 	// longer decodes); nil means os.Stderr.
 	Warnings io.Writer
+	// Params collects repeatable -param name=value flags; Specs copies the
+	// map into every flag-built spec, selecting one operating point of a
+	// parameterized factory or experiment. Spec files carry their own.
+	Params params.FlagValue
 }
 
 // RegisterCommon registers the flags shared by every campaign CLI:
@@ -137,6 +142,13 @@ func (o *Options) RegisterShardSize(fs *flag.FlagSet) {
 	fs.IntVar(&o.ShardSize, "shard-size", 0, "trials per aggregation shard (0 = engine default)")
 }
 
+// RegisterParams registers the repeatable -param flag selecting one
+// operating point of a parameterized scenario factory or experiment.
+func (o *Options) RegisterParams(fs *flag.FlagSet) {
+	fs.Var(&o.Params, "param",
+		"scenario parameter as name=value (repeatable); see -list for each factory's schema")
+}
+
 // RegisterSuiteParallel registers the -suite-parallel overlap factor for
 // CLIs that run whole suites.
 func (o *Options) RegisterSuiteParallel(fs *flag.FlagSet) {
@@ -158,7 +170,7 @@ func RejectSpecParameterFlags(fs *flag.FlagSet, names ...string) error {
 		}
 	})
 	if len(conflict) > 0 {
-		return fmt.Errorf("%s cannot be combined with -spec: spec files carry their own job parameters",
+		return fmt.Errorf("%s cannot be combined with a spec or sweep file, which carries its own job parameters",
 			strings.Join(conflict, ", "))
 	}
 	return nil
@@ -174,6 +186,11 @@ func (o Options) Specs(kind string, ids []string) []spec.JobSpec {
 		if kind == spec.KindScenario {
 			specs[i].Trials = o.Trials
 			specs[i].ShardSize = o.ShardSize
+		}
+		if len(o.Params.M) > 0 {
+			// Each spec gets its own copy: shared mutable state across a
+			// batch would let one job's resolution alias another's identity.
+			specs[i].Params = o.Params.M.Clone()
 		}
 	}
 	return specs
@@ -449,6 +466,9 @@ func executeResolved(ctx context.Context, s *Session, job spec.Resolved) (*spec.
 			Trials:      trials,
 			ShardSize:   shardSize,
 			Fingerprint: cache.Fingerprint(),
+		}
+		if len(job.Params) > 0 {
+			key.Params = string(job.Params.Canonical())
 		}
 		if rng != nil {
 			key.RangeLo, key.RangeHi = rng.Lo, rng.Hi

@@ -12,6 +12,7 @@ import (
 
 	"resilientloc/internal/engine"
 	"resilientloc/internal/engine/cache"
+	"resilientloc/internal/engine/params"
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
 )
@@ -119,6 +120,36 @@ func TestCacheKeyedOnParameters(t *testing.T) {
 		if name != "same" && info.Cached {
 			t.Errorf("changed %s but hit the cache", name)
 		}
+	}
+}
+
+// TestCacheKeyedOnOperatingPoint: factory instances share a scenario name
+// across nearby operating points (NoiseSweep truncates its delta into the
+// name), so the resolved params must be a key ingredient — and a spelled-out
+// default must share the entry of an omitted one.
+func TestCacheKeyedOnOperatingPoint(t *testing.T) {
+	s := newSession(t, run.Options{CacheDir: filepath.Join(t.TempDir(), "cache")})
+
+	point := func(delta float64) spec.JobSpec {
+		sp := scenSpec("ranging-noise", 1, 2, 0)
+		sp.Params = params.Map{"delta_db": params.Num(delta)}
+		return sp
+	}
+	if _, _, err := run.ExecuteSpec(s, point(6)); err != nil {
+		t.Fatal(err)
+	}
+	// Same operating point: hit. Same scenario NAME (6.2 truncates to
+	// "ranging-noise-6db" too): miss.
+	if _, info, err := run.ExecuteSpec(s, point(6)); err != nil || !info.Cached {
+		t.Errorf("same operating point missed the cache (err=%v)", err)
+	}
+	if _, info, err := run.ExecuteSpec(s, point(6.2)); err != nil || info.Cached {
+		t.Errorf("delta 6.2 hit delta 6's entry (err=%v)", err)
+	}
+	// The factory's default point, spelled out or omitted, is one entry.
+	bare := scenSpec("ranging-noise", 1, 2, 0)
+	if _, info, err := run.ExecuteSpec(s, bare); err != nil || !info.Cached {
+		t.Errorf("param-less factory spec missed the spelled-out default's entry (err=%v, cached=%v)", err, info.Cached)
 	}
 }
 

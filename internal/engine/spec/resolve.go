@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/params"
 	"resilientloc/internal/experiments"
 )
 
@@ -60,6 +61,12 @@ type Resolved struct {
 	TotalTrials int
 	// ShardSize is the effective shard size.
 	ShardSize int
+	// Params is the fully-resolved operating point — every declared
+	// parameter present, defaults filled — for a parameterized job, nil for
+	// a param-less one. It is what cache keys embed (so a spec spelling out
+	// a default shares the cache entry of one omitting it) and what job
+	// summaries display.
+	Params params.Map
 }
 
 // PartialRange returns the proper trial sub-range this job executes, or nil
@@ -99,27 +106,46 @@ func wrapCampaign[R any](c engine.Campaign[R], wrap func(R) *Value) engine.Campa
 	}
 }
 
-// Resolve validates the spec and maps it onto its registry: experiments.Find
-// for figures, engine.Find for library scenarios. The returned job carries
-// the effective trial/shard parameters, so callers can size, order, and
-// cache-key the work before running any of it.
+// Resolve validates the spec and maps it onto its registry:
+// experiments.Find for figures, engine.BuildScenario for scenarios (which
+// covers both the compiled-in library and the parameterized factories). The
+// returned job carries the effective trial/shard parameters and the
+// resolved operating point, so callers can size, order, and cache-key the
+// work before running any of it.
 func Resolve(s JobSpec) (Resolved, error) {
 	if err := s.Validate(); err != nil {
 		return Resolved{}, err
 	}
 	var campaign engine.Campaign[*Value]
+	var resolvedParams params.Map
 	switch s.Kind {
 	case KindFigure:
 		e, ok := experiments.Find(s.ID)
 		if !ok {
 			return Resolved{}, fmt.Errorf("spec: unknown figure job %q", s.ID)
 		}
-		campaign = wrapCampaign(e.Campaign(s.Seed), func(r *experiments.Result) *Value { return &Value{Figure: r} })
-	case KindScenario:
-		sc, ok := engine.Find(s.ID)
-		if !ok {
-			return Resolved{}, fmt.Errorf("spec: unknown scenario job %q", s.ID)
+		var c engine.Campaign[*experiments.Result]
+		if len(e.Params) > 0 {
+			p, err := e.Params.Resolve(s.Params)
+			if err != nil {
+				return Resolved{}, fmt.Errorf("spec: figure %q: %w", s.ID, err)
+			}
+			resolvedParams = p
+			c = e.ParamCampaign(s.Seed, p)
+		} else {
+			if len(s.Params) > 0 {
+				return Resolved{}, fmt.Errorf("spec: figure %q takes no parameters (params: %s)",
+					s.ID, s.Params.Canonical())
+			}
+			c = e.Campaign(s.Seed)
 		}
+		campaign = wrapCampaign(c, func(r *experiments.Result) *Value { return &Value{Figure: r} })
+	case KindScenario:
+		sc, p, err := engine.BuildScenario(s.ID, s.Params)
+		if err != nil {
+			return Resolved{}, fmt.Errorf("spec: %w", err)
+		}
+		resolvedParams = p
 		campaign = wrapCampaign(engine.ReportCampaign(sc), func(r *engine.Report) *Value { return &Value{Report: r} })
 		campaign.KeepTrialValues = s.KeepTrialValues
 	}
@@ -133,7 +159,7 @@ func Resolve(s JobSpec) (Resolved, error) {
 	if trials <= 0 {
 		return Resolved{}, fmt.Errorf("spec: %s: no trial count configured", s.ID)
 	}
-	job := Resolved{Spec: s, Campaign: campaign, Trials: trials, TotalTrials: trials, ShardSize: shardSize}
+	job := Resolved{Spec: s, Campaign: campaign, Trials: trials, TotalTrials: trials, ShardSize: shardSize, Params: resolvedParams}
 	if r := s.TrialRange; r != nil {
 		if r.Hi > trials {
 			return Resolved{}, fmt.Errorf("spec: %s: trial range [%d, %d) exceeds the job's %d trials",

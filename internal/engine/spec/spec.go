@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"resilientloc/internal/engine/params"
 )
 
 // Job kinds: which registry the spec's ID names.
@@ -71,6 +73,14 @@ type JobSpec struct {
 	// TrialRange optionally restricts execution to a trial sub-range for
 	// distributed suite sharding; see Range.
 	TrialRange *Range `json:"trial_range,omitempty"`
+	// Params selects one operating point of a parameterized workload — a
+	// scenario factory (engine.Factories) or a parameterized experiment.
+	// Omitted params take the schema's defaults; names and values are
+	// validated against the schema at Resolve time. The map encodes with
+	// sorted keys and shortest-form numbers (see params.Map), so the
+	// operating point is part of the spec's content address; nil and empty
+	// are both omitted, keeping every pre-params spec's hash unchanged.
+	Params params.Map `json:"params,omitempty"`
 }
 
 // Validate checks the spec's self-contained invariants (registry lookups
@@ -111,6 +121,13 @@ func (s JobSpec) Validate() error {
 			return fmt.Errorf("spec: %s: invalid trial range [%d, %d)", s.ID, r.Lo, r.Hi)
 		}
 	}
+	// Schema checks (names, bounds) happen in Resolve, where the registry
+	// is known; here only the value-level invariant that keeps Canonical
+	// total: every param must be encodable (JSON can't produce NaN/Inf, but
+	// in-process constructed specs could).
+	if err := s.Params.Validate(); err != nil {
+		return fmt.Errorf("spec: %s: %w", s.ID, err)
+	}
 	return nil
 }
 
@@ -122,8 +139,9 @@ func (s JobSpec) Validate() error {
 func (s JobSpec) Canonical() []byte {
 	b, err := json.Marshal(s)
 	if err != nil {
-		// JobSpec is strings, integers, and a flat pointer struct; Marshal
-		// cannot fail.
+		// JobSpec is strings, integers, a flat pointer struct, and a params
+		// map whose only marshal failures (zero or non-finite values) are
+		// rejected by Validate — unreachable on a validated spec.
 		panic(fmt.Sprintf("spec: marshal: %v", err))
 	}
 	return b

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestCanonicalHashIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again[0] != base {
+	if !reflect.DeepEqual(again[0], base) {
 		t.Errorf("canonical round trip changed the spec: %+v vs %+v", again[0], base)
 	}
 

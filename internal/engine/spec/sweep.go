@@ -1,0 +1,137 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"resilientloc/internal/engine/params"
+)
+
+// MaxSweepPoints bounds a sweep's expansion: a parameter study larger than
+// this must be split into multiple sweeps, instead of one malformed grid
+// silently fanning a million jobs into the queue.
+const MaxSweepPoints = 4096
+
+// Sweep is a parameter study as one document: a spec template plus a grid
+// of parameter axes (and optionally a seed axis) that expands into the
+// cartesian product of content-addressed JobSpecs. The expansion is
+// deterministic — axes iterate in sorted name order, seeds outermost — so
+// every consumer (run.ExecuteAll locally, locd's POST /v1/sweeps remotely)
+// derives the identical job list from the same document. Expansion does not
+// deduplicate: points that collide (e.g. a grid axis spelling out the
+// template's value) hash identically and are collapsed by the executors'
+// in-flight/cache machinery, not here.
+type Sweep struct {
+	// Template is the base spec every point starts from. Its own Params are
+	// the fixed coordinates; grid axes must not collide with them.
+	Template JobSpec `json:"template"`
+	// Grid maps a parameter name to the values it sweeps over.
+	Grid map[string][]params.Value `json:"grid,omitempty"`
+	// Seeds optionally sweeps the seed as an outermost axis; empty means
+	// the template's seed.
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// Expand returns the sweep's job list: for each seed, the cartesian product
+// of the grid axes in sorted name order (the first axis varies slowest),
+// applied over the template. Every expanded spec is validated; registry
+// checks (unknown names, bounds) still happen at Resolve time.
+func (sw Sweep) Expand() ([]JobSpec, error) {
+	axes := make([]string, 0, len(sw.Grid))
+	total := 1
+	for name, vals := range sw.Grid {
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", name)
+		}
+		if _, fixed := sw.Template.Params[name]; fixed {
+			return nil, fmt.Errorf("sweep: axis %q collides with a template param", name)
+		}
+		axes = append(axes, name)
+		if total > MaxSweepPoints/len(vals) {
+			return nil, fmt.Errorf("sweep: grid exceeds %d points", MaxSweepPoints)
+		}
+		total *= len(vals)
+	}
+	sort.Strings(axes)
+	seeds := sw.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{sw.Template.Seed}
+	}
+	if total > MaxSweepPoints/len(seeds) {
+		return nil, fmt.Errorf("sweep: grid exceeds %d points", MaxSweepPoints)
+	}
+
+	specs := make([]JobSpec, 0, total*len(seeds))
+	// idx is the mixed-radix odometer over the axes; incrementing the last
+	// digit first makes the first (alphabetical) axis vary slowest.
+	idx := make([]int, len(axes))
+	for _, seed := range seeds {
+		for i := range idx {
+			idx[i] = 0
+		}
+		for {
+			s := sw.Template
+			s.Seed = seed
+			s.Params = sw.Template.Params.Clone()
+			if s.Params == nil && len(axes) > 0 {
+				s.Params = make(params.Map, len(axes))
+			}
+			for i, name := range axes {
+				s.Params[name] = sw.Grid[name][idx[i]]
+			}
+			if err := s.Validate(); err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			specs = append(specs, s)
+			d := len(idx) - 1
+			for ; d >= 0; d-- {
+				idx[d]++
+				if idx[d] < len(sw.Grid[axes[d]]) {
+					break
+				}
+				idx[d] = 0
+			}
+			if d < 0 {
+				break
+			}
+		}
+	}
+	return specs, nil
+}
+
+// DecodeSweep reads one sweep document from r, rejecting unknown fields and
+// trailing data.
+func DecodeSweep(r io.Reader) (Sweep, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return Sweep{}, fmt.Errorf("sweep: read: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var sw Sweep
+	if err := dec.Decode(&sw); err != nil {
+		return Sweep{}, fmt.Errorf("sweep: decode: %w", err)
+	}
+	if dec.More() {
+		return Sweep{}, fmt.Errorf("sweep: trailing data after the sweep document")
+	}
+	return sw, nil
+}
+
+// LoadSweepFile decodes a sweep document from a file.
+func LoadSweepFile(path string) (Sweep, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Sweep{}, fmt.Errorf("sweep: %w", err)
+	}
+	defer f.Close()
+	sw, err := DecodeSweep(f)
+	if err != nil {
+		return Sweep{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return sw, nil
+}

@@ -1,0 +1,179 @@
+package spec_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilientloc/internal/engine/params"
+	"resilientloc/internal/engine/spec"
+)
+
+func TestSweepExpandOrderAndContent(t *testing.T) {
+	sw := spec.Sweep{
+		Template: spec.JobSpec{Kind: spec.KindScenario, ID: "mobility-waypoint", Seed: 1,
+			Params: params.Map{"epoch_s": params.Num(4)}},
+		Grid: map[string][]params.Value{
+			"speed_mps": {params.Num(0), params.Num(2.5), params.Num(5)},
+		},
+		Seeds: []int64{1, 5},
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 6 {
+		t.Fatalf("expanded %d specs, want 6", len(specs))
+	}
+	// Seeds outermost, then the axis in order: (1,0) (1,2.5) (1,5) (5,0) ...
+	for i, want := range []struct {
+		seed  int64
+		speed float64
+	}{{1, 0}, {1, 2.5}, {1, 5}, {5, 0}, {5, 2.5}, {5, 5}} {
+		s := specs[i]
+		if s.Seed != want.seed || s.Params.Float("speed_mps") != want.speed {
+			t.Errorf("point %d: seed %d speed %v, want seed %d speed %v",
+				i, s.Seed, s.Params.Float("speed_mps"), want.seed, want.speed)
+		}
+		if s.Params.Float("epoch_s") != 4 {
+			t.Errorf("point %d lost the template param: %s", i, s.Params.Canonical())
+		}
+	}
+	// Expansion is deterministic: a second expansion hashes identically.
+	again, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if specs[i].Hash() != again[i].Hash() {
+			t.Errorf("point %d hash differs across expansions", i)
+		}
+	}
+	// The template document is untouched by expansion.
+	if len(sw.Template.Params) != 1 {
+		t.Errorf("expansion mutated the template params: %s", sw.Template.Params.Canonical())
+	}
+}
+
+func TestSweepExpandMultiAxis(t *testing.T) {
+	sw := spec.Sweep{
+		Template: spec.JobSpec{Kind: spec.KindScenario, ID: "ranging-mixed-env", Seed: 3},
+		Grid: map[string][]params.Value{
+			"env_b":         {params.Str("pavement"), params.Str("urban")},
+			"boundary_frac": {params.Num(0.25), params.Num(0.5), params.Num(0.75)},
+		},
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 6 {
+		t.Fatalf("expanded %d specs, want 6", len(specs))
+	}
+	// Sorted axis order: boundary_frac (alphabetically first) varies
+	// slowest, env_b fastest.
+	wantFrac := []float64{0.25, 0.25, 0.5, 0.5, 0.75, 0.75}
+	wantEnv := []string{"pavement", "urban", "pavement", "urban", "pavement", "urban"}
+	for i, s := range specs {
+		if s.Seed != 3 {
+			t.Errorf("point %d seed %d, want the template's 3", i, s.Seed)
+		}
+		if s.Params.Float("boundary_frac") != wantFrac[i] || s.Params.Str("env_b") != wantEnv[i] {
+			t.Errorf("point %d is %s, want frac %v env %s", i, s.Params.Canonical(), wantFrac[i], wantEnv[i])
+		}
+	}
+	// All six points must resolve (the registry accepts them).
+	if _, err := spec.ResolveAll(specs); err != nil {
+		t.Errorf("expanded points failed to resolve: %v", err)
+	}
+}
+
+func TestSweepExpandErrors(t *testing.T) {
+	template := spec.JobSpec{Kind: spec.KindScenario, ID: "mobility-waypoint", Seed: 1,
+		Params: params.Map{"speed_mps": params.Num(1)}}
+	cases := []struct {
+		name string
+		sw   spec.Sweep
+		want string
+	}{
+		{"empty axis", spec.Sweep{Template: template,
+			Grid: map[string][]params.Value{"epoch_s": {}}}, "has no values"},
+		{"template collision", spec.Sweep{Template: template,
+			Grid: map[string][]params.Value{"speed_mps": {params.Num(2)}}}, "collides with a template param"},
+		{"invalid point", spec.Sweep{Template: spec.JobSpec{Kind: "nope", ID: "x"},
+			Grid: map[string][]params.Value{"a": {params.Num(1)}}}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.sw.Expand(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want it to mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Over-cap grids are rejected before any allocation balloons.
+	big := make([]params.Value, 70)
+	for i := range big {
+		big[i] = params.Num(float64(i))
+	}
+	sw := spec.Sweep{Template: spec.JobSpec{Kind: spec.KindScenario, ID: "x", Seed: 1},
+		Grid: map[string][]params.Value{"a": big, "b": big}}
+	if _, err := sw.Expand(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("4900-point grid accepted: %v", err)
+	}
+}
+
+func TestDecodeSweep(t *testing.T) {
+	doc := `{
+	  "template": {"kind": "scenario", "id": "mobility-waypoint", "seed": 1},
+	  "grid": {"speed_mps": [0, 1, 2.5]},
+	  "seeds": [1, 5]
+	}`
+	sw, err := spec.DecodeSweep(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 6 {
+		t.Errorf("expanded %d specs, want 6", len(specs))
+	}
+	for in, want := range map[string]string{
+		`{"template": {"kind":"scenario","id":"x"}, "gird": {}}`: "unknown field",
+		`{"template": {"kind":"scenario","id":"x"}} trailing`:    "trailing data",
+		`not json`: "decode",
+	} {
+		if _, err := spec.DecodeSweep(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("DecodeSweep(%q) error %v, want it to mention %q", in, err, want)
+		}
+	}
+}
+
+// TestExampleSweepFilesExpand: every shipped .sweep.json example loads,
+// expands, and resolves — the documented entry point must never rot.
+func TestExampleSweepFilesExpand(t *testing.T) {
+	dir := filepath.Join("..", "..", "..", "examples", "specs")
+	files, err := filepath.Glob(filepath.Join(dir, "*.sweep.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no .sweep.json examples found")
+	}
+	for _, f := range files {
+		sw, err := spec.LoadSweepFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		specs, err := sw.Expand()
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(specs) < 2 {
+			t.Errorf("%s expanded to %d specs; examples should sweep something", f, len(specs))
+		}
+		if _, err := spec.ResolveAll(specs); err != nil {
+			t.Errorf("%s: expanded specs do not resolve: %v", f, err)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/params"
 	"resilientloc/internal/stats"
 )
 
@@ -115,6 +116,17 @@ type Experiment struct {
 	// campaign's scenario is named after the experiment ID, which is what
 	// the result cache keys on.
 	Campaign func(seed int64) engine.Campaign[*Result]
+	// Params declares the experiment's swept axes beyond the seed, if any.
+	// Most figures are parameter-free reproductions — a fixed operating
+	// point is their definition — and leave this nil, which makes any
+	// params on their spec an error.
+	Params params.Schema
+	// ParamCampaign builds the campaign at a resolved operating point
+	// (every declared parameter present; see params.Schema.Resolve). Set
+	// exactly when Params is non-empty. Campaign(seed) must equal
+	// ParamCampaign(seed, defaults) so the param-less spec stays
+	// byte-identical to the pinned figure.
+	ParamCampaign func(seed int64, p params.Map) engine.Campaign[*Result]
 }
 
 // Run executes the experiment through the engine campaign path with default
@@ -175,7 +187,17 @@ func All() []Experiment {
 		{ID: "fig07", Campaign: fig07Campaign},
 		{ID: "fig08", Campaign: fig08Campaign},
 		{ID: "fig10", Campaign: fig10Campaign},
-		{ID: "maxrange", Campaign: maxRangeCampaign},
+		{
+			ID:       "maxrange",
+			Campaign: maxRangeCampaign,
+			Params: params.Schema{
+				{Name: "rounds", Kind: params.Int, Default: params.Num(maxRangeSweepRounds), Min: 1, Max: 400,
+					Help: "measurement attempts per sweep point"},
+			},
+			ParamCampaign: func(seed int64, p params.Map) engine.Campaign[*Result] {
+				return maxRangeCampaignRounds(seed, p.Int("rounds"))
+			},
+		},
 		{ID: "fig11", Campaign: fig11Campaign},
 		{ID: "fig12", Campaign: fig12Campaign},
 		{ID: "fig14", Campaign: fig14Campaign},

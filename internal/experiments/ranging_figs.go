@@ -402,6 +402,14 @@ func MaxRangeSweep(seed int64) (*Result, error) {
 // (seed + 7·distance + threshold — note it never included the environment),
 // so the figure's numbers are unchanged.
 func maxRangeCampaign(seed int64) engine.Campaign[*Result] {
+	return maxRangeCampaignRounds(seed, maxRangeSweepRounds)
+}
+
+// maxRangeCampaignRounds is maxRangeCampaign with the per-point attempt
+// count as a parameter — the experiment's one swept axis beyond the seed
+// (spec params select it via "rounds"; the default reproduces the paper
+// figure byte-for-byte).
+func maxRangeCampaignRounds(seed int64, rounds int) engine.Campaign[*Result] {
 	distances := engine.DefaultMaxRangeDistances()
 	envs := []acoustics.Environment{acoustics.Grass(), acoustics.Pavement()}
 	thresholds := []uint8{1, 2}
@@ -421,7 +429,7 @@ func maxRangeCampaign(seed int64) engine.Campaign[*Result] {
 			},
 			Run: func(t *engine.T) error {
 				env, thr, d := point(t.Trial)
-				rate, err := engine.MaxRangePoint(env, thr, d, maxRangeSweepRounds, t.RNG)
+				rate, err := engine.MaxRangePoint(env, thr, d, rounds, t.RNG)
 				if err != nil {
 					return err
 				}

@@ -19,6 +19,7 @@
 // Endpoints:
 //
 //	POST /v1/jobs             submit one spec or an array; returns job IDs
+//	POST /v1/sweeps           expand a sweep and stream one merged NDJSON feed
 //	GET  /v1/jobs/{id}        job status, and the result once done
 //	GET  /v1/jobs/{id}/events NDJSON stream of trial-progress events
 //	GET  /v1/cache/{key}      raw result-cache entry by content address
@@ -28,6 +29,11 @@
 // status line — status "done" or "failed" (with error text and the
 // retryable "skipped" marker) — so stream consumers can distinguish a job
 // failure from a mere disconnect, which never carries a status line.
+//
+// Submissions that would push the running-job table past its bound are
+// rejected whole with 429 and a Retry-After header derived from the same
+// queue-depth signal /healthz reports, so a fleet scheduler can back off
+// instead of piling work onto a saturated worker.
 package locsrv
 
 import (
@@ -36,9 +42,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/params"
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
 	"resilientloc/internal/obs"
@@ -70,6 +78,37 @@ type job struct {
 // an evicted id polls as 404 and resubmits as a fresh — typically cached —
 // job). Running jobs are never evicted. A variable so tests can shrink it.
 var maxFinishedJobs = 1024
+
+// maxRunningJobs bounds the "running" set of the job table: a submission —
+// single spec, batch, or sweep — whose fresh registrations would push the
+// running count past this is rejected whole with 429, before any of its
+// jobs register. Resubmissions of in-flight or finished jobs are free (they
+// attach, registering nothing). A variable so tests can shrink it.
+var maxRunningJobs = 256
+
+// overloadError reports a rejected submission: the batch's fresh jobs plus
+// the currently running set would exceed maxRunningJobs. RetryAfter is the
+// suggested back-off in seconds, scaled by the suite-scheduler queue depth.
+type overloadError struct {
+	fresh, running, limit int
+	retryAfter            int
+}
+
+func (e *overloadError) Error() string {
+	return fmt.Sprintf("overloaded: %d running jobs + %d new would exceed the %d-job bound; retry after %ds",
+		e.running, e.fresh, e.limit, e.retryAfter)
+}
+
+// retryAfterSeconds scales the back-off hint with the suite-scheduler queue
+// depth (the run_jobs_queued gauge /healthz also reports): an idle-but-full
+// table suggests 1s, a deep queue up to a minute.
+func retryAfterSeconds() int {
+	retry := 1 + int(obs.Default().Gauge("run_jobs_queued").Value())/64
+	if retry > 60 {
+		retry = 60
+	}
+	return retry
+}
 
 // Server is the job table and its execution session. Zero value is not
 // usable; construct with New.
@@ -113,6 +152,7 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCache)
@@ -186,15 +226,18 @@ func writeError(w http.ResponseWriter, code int, err error) {
 
 // jobSummary is the wire representation of a job.
 type jobSummary struct {
-	ID             string       `json:"id"`
-	Spec           spec.JobSpec `json:"spec"`
-	Status         string       `json:"status"`
-	Trials         int          `json:"trials"`
-	DoneTrials     int          `json:"done_trials"`
-	Cached         bool         `json:"cached,omitempty"`
-	ElapsedSeconds float64      `json:"elapsed_seconds,omitempty"`
-	CacheKey       string       `json:"cache_key,omitempty"`
-	Error          string       `json:"error,omitempty"`
+	ID   string       `json:"id"`
+	Spec spec.JobSpec `json:"spec"`
+	// Params is the job's resolved operating point — the spec's params with
+	// the factory's defaults filled in. Absent for param-less jobs.
+	Params         params.Map `json:"params,omitempty"`
+	Status         string     `json:"status"`
+	Trials         int        `json:"trials"`
+	DoneTrials     int        `json:"done_trials"`
+	Cached         bool       `json:"cached,omitempty"`
+	ElapsedSeconds float64    `json:"elapsed_seconds,omitempty"`
+	CacheKey       string     `json:"cache_key,omitempty"`
+	Error          string     `json:"error,omitempty"`
 	// Skipped marks a failure that only reflects a batch sibling's error;
 	// the job is retryable by resubmitting its spec. The machine-readable
 	// field is the contract — the error text is not.
@@ -212,6 +255,7 @@ func (j *job) summaryLocked(withResult bool) jobSummary {
 	v := jobSummary{
 		ID:         j.id,
 		Spec:       j.resolved.Spec,
+		Params:     j.resolved.Params,
 		Status:     j.status,
 		Trials:     j.trials,
 		DoneTrials: j.progress,
@@ -253,21 +297,76 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := checkWireObservable(resolved); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	summaries, _, fresh, err := s.registerJobs(resolved)
+	if err != nil {
+		writeOverloaded(w, err)
+		return
+	}
+	s.launch(fresh)
+	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": summaries})
+}
+
+// checkWireObservable rejects specs whose retained per-trial values could
+// never reach the submitter. A full job's retained values never serialize
+// (they exist for in-process Finalize consumers), so over the wire the knob
+// could only burn a cache bypass without ever being observable. A proper
+// trial-range sub-job is exempt: its engine.Partial serializes the retained
+// values, which is how the coordinator distributes retention jobs.
+func checkWireObservable(resolved []spec.Resolved) error {
 	for _, rj := range resolved {
 		if rj.Spec.KeepTrialValues && rj.PartialRange() == nil {
-			// A full job's retained per-trial values never serialize (they
-			// exist for in-process Finalize consumers), so over the wire the
-			// knob could only burn a cache bypass without ever being
-			// observable. A proper trial-range sub-job is exempt: its
-			// engine.Partial serializes the retained values, which is how the
-			// coordinator distributes retention jobs.
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("spec %s: keep_trial_values is not observable over the wire; drop it", rj.Spec.ID))
-			return
+			return fmt.Errorf("spec %s: keep_trial_values is not observable over the wire; drop it", rj.Spec.ID)
 		}
 	}
+	return nil
+}
+
+// writeOverloaded renders a registration error; an overloadError becomes a
+// 429 with a Retry-After header, anything else a 500.
+func writeOverloaded(w http.ResponseWriter, err error) {
+	var ov *overloadError
+	if errors.As(err, &ov) {
+		w.Header().Set("Retry-After", strconv.Itoa(ov.retryAfter))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
+// registerJobs checks admission and registers a batch's fresh jobs under one
+// mutex hold, so the batch is admitted or rejected atomically: on overload
+// nothing registers and the returned error carries the retry hint. On
+// success it returns one summary and one job pointer per resolved spec (in
+// submission order, duplicates and attachments included) plus the fresh
+// subset that needs an executor.
+func (s *Server) registerJobs(resolved []spec.Resolved) ([]jobSummary, []*job, []*job, error) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	running := 0
+	for _, j := range s.jobs {
+		if j.status == "running" {
+			running++
+		}
+	}
+	freshIDs := make(map[string]bool)
+	for _, rj := range resolved {
+		id := rj.Spec.Hash()
+		if j, ok := s.jobs[id]; !ok || j.skipped {
+			freshIDs[id] = true
+		}
+	}
+	if running+len(freshIDs) > maxRunningJobs {
+		return nil, nil, nil, &overloadError{
+			fresh: len(freshIDs), running: running, limit: maxRunningJobs,
+			retryAfter: retryAfterSeconds(),
+		}
+	}
 	summaries := make([]jobSummary, 0, len(resolved))
+	all := make([]*job, 0, len(resolved))
 	var fresh []*job
 	for _, rj := range resolved {
 		id := rj.Spec.Hash()
@@ -291,24 +390,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fresh = append(fresh, j)
 		}
 		summaries = append(summaries, j.summaryLocked(false))
+		all = append(all, j)
 	}
-	s.mu.Unlock()
-	if len(fresh) > 0 {
-		jobs := make([]spec.Resolved, len(fresh))
-		for i, j := range fresh {
-			jobs[i] = j.resolved
-		}
-		// Each batch runs under its own tracer, so every job's execution
-		// timeline can be extracted at completion and served with its result.
-		// Unordered: each job answers its pollers and event streams the
-		// moment it finishes, instead of waiting on batch siblings.
-		tr := obs.NewTracer()
-		ctx := obs.WithTracer(context.Background(), tr)
-		go run.ExecuteAllUnorderedContext(ctx, s.sess, jobs, func(o run.Outcome) {
-			s.finishTraced(tr, o)
-		})
+	return summaries, all, fresh, nil
+}
+
+// launch starts one unordered suite run for a batch's fresh jobs. Each batch
+// runs under its own tracer, so every job's execution timeline can be
+// extracted at completion and served with its result. Unordered: each job
+// answers its pollers and event streams the moment it finishes, instead of
+// waiting on batch siblings.
+func (s *Server) launch(fresh []*job) {
+	if len(fresh) == 0 {
+		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": summaries})
+	jobs := make([]spec.Resolved, len(fresh))
+	for i, j := range fresh {
+		jobs[i] = j.resolved
+	}
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	go run.ExecuteAllUnorderedContext(ctx, s.sess, jobs, func(o run.Outcome) {
+		s.finishTraced(tr, o)
+	})
 }
 
 // dropFinishedLocked removes a job id from the eviction queue; called when
@@ -427,6 +531,11 @@ type event struct {
 	// ElapsedSeconds is the job's wall time, carried on terminal lines only —
 	// the same per-job timing the job summary reports.
 	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	// Result carries the job's final value on a sweep stream's terminal
+	// "done" lines, so a sweep consumer never has to fetch N job summaries.
+	// Single-job event streams leave it unset — their consumers already hold
+	// the job URL.
+	Result *spec.Value `json:"result,omitempty"`
 }
 
 // handleEvents streams trial-progress counters for one job as
@@ -489,6 +598,174 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// sweepHeader is the first NDJSON line of a sweep stream: the expansion's
+// shape, so the consumer knows every job ID (in expansion order) and how
+// many terminal lines to expect before reading any progress.
+type sweepHeader struct {
+	Points      int      `json:"points"`
+	Jobs        []string `json:"jobs"`
+	TotalTrials int      `json:"total_trials"`
+}
+
+// sweepSummary is the last NDJSON line of a sweep stream: "done" when every
+// point succeeded, "failed" with the failure count otherwise. Like a job
+// stream's terminal status line, its presence is what distinguishes a
+// completed sweep from a dropped connection.
+type sweepSummary struct {
+	Status string `json:"status"`
+	Points int    `json:"points"`
+	Failed int    `json:"failed,omitempty"`
+}
+
+// handleSweeps expands a sweep document into its content-addressed job
+// specs, registers them as one batch (deduplicated against running and
+// finished jobs by the same machinery as POST /v1/jobs, and subject to the
+// same 429 backpressure), and answers with a single merged NDJSON stream:
+// one header line naming every job, interleaved per-job progress lines,
+// one terminal status line per job — carrying the result on success — and
+// a final sweep summary line.
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	sw, err := spec.DecodeSweep(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, tooLarge)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resolved, err := spec.ResolveAll(specs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkWireObservable(resolved); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	_, all, fresh, err := s.registerJobs(resolved)
+	if err != nil {
+		writeOverloaded(w, err)
+		return
+	}
+	s.launch(fresh)
+
+	// The expansion may contain repeated points (e.g. a template param equal
+	// to a grid value is rejected earlier, but two grids can still collide
+	// after resolution only at the cache layer, and duplicate seeds are
+	// legal); each distinct job streams once.
+	var uniq []*job
+	seen := make(map[string]bool)
+	for _, j := range all {
+		if !seen[j.id] {
+			seen[j.id] = true
+			uniq = append(uniq, j)
+		}
+	}
+	hdr := sweepHeader{Points: len(all), Jobs: make([]string, len(uniq))}
+	for i, j := range uniq {
+		hdr.Jobs[i] = j.id
+		hdr.TotalTrials += j.resolved.Trials
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	emit := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if !emit(hdr) {
+		return
+	}
+
+	// One forwarder per job funnels its progress and terminal event into the
+	// merged channel; the handler goroutine is the only writer to the
+	// response. Forwarders block on the merged send (terminal lines must not
+	// drop) and bail out when the stream ends for any reason.
+	done := make(chan struct{})
+	defer close(done)
+	merged := make(chan event, 64)
+	for _, j := range uniq {
+		go func(j *job) {
+			ch := make(chan [2]int, 64)
+			s.mu.Lock()
+			j.subs[ch] = struct{}{}
+			s.mu.Unlock()
+			defer func() {
+				s.mu.Lock()
+				delete(j.subs, ch)
+				s.mu.Unlock()
+			}()
+			for {
+				select {
+				case p := <-ch:
+					select {
+					case merged <- event{ID: j.id, Done: p[0], Total: p[1]}:
+					case <-done:
+						return
+					}
+				case <-j.done:
+					s.mu.Lock()
+					final := event{ID: j.id, Done: j.progress, Total: j.trials,
+						Status: j.status, Cached: j.info.Cached, Error: j.errMsg, Skipped: j.skipped,
+						ElapsedSeconds: j.info.Elapsed.Seconds()}
+					if j.status == "done" {
+						final.Result = j.result
+					}
+					s.mu.Unlock()
+					select {
+					case merged <- final:
+					case <-done:
+					}
+					return
+				case <-done:
+					return
+				}
+			}
+		}(j)
+	}
+
+	finished, failed := 0, 0
+	for finished < len(uniq) {
+		select {
+		case e := <-merged:
+			if !emit(e) {
+				return
+			}
+			if e.Status != "" {
+				finished++
+				if e.Status != "done" {
+					failed++
+				}
+			}
+		case <-s.stop:
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+	sum := sweepSummary{Status: "done", Points: len(all), Failed: failed}
+	if failed > 0 {
+		sum.Status = "failed"
+	}
+	emit(sum)
 }
 
 // handleCache serves a raw result-cache entry by its content address — the

@@ -8,12 +8,14 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/params"
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
 )
@@ -526,6 +528,297 @@ func TestEventsTerminalFailedLine(t *testing.T) {
 	final := skippedEvents[len(skippedEvents)-1]
 	if final.Status != "failed" || !final.Skipped {
 		t.Errorf("skipped job terminal event %+v, want failed with skipped=true", final)
+	}
+}
+
+// TestBackpressure429: a submission whose fresh jobs would push the running
+// set past maxRunningJobs is rejected whole — 429, a Retry-After header,
+// and no partial registration — on both the jobs and sweeps endpoints.
+// Deduplicating resubmissions register nothing, so they pass even at the
+// bound.
+func TestBackpressure429(t *testing.T) {
+	prev := maxRunningJobs
+	maxRunningJobs = 1
+	defer func() { maxRunningJobs = prev }()
+	_, hs := newTestServer(t, run.Options{NoCache: true})
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(hs.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	requireRejected := func(resp *http.Response) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429", resp.StatusCode)
+		}
+		ra := resp.Header.Get("Retry-After")
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Errorf("Retry-After %q, want a positive integer", ra)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "overloaded") {
+			t.Errorf("429 body error %q (%v), want it to mention overload", e.Error, err)
+		}
+	}
+
+	// Two fresh specs against a one-job bound: rejected atomically.
+	batch := `[{"kind":"scenario","id":"multilat-town","seed":50,"trials":2},
+	           {"kind":"scenario","id":"multilat-town","seed":51,"trials":2}]`
+	requireRejected(post("/v1/jobs", batch))
+	for _, seed := range []int{50, 51} {
+		sp := spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: int64(seed), Trials: 2}
+		if r, _ := http.Get(hs.URL + "/v1/jobs/" + sp.Hash()); r.StatusCode != http.StatusNotFound {
+			t.Errorf("seed %d registered despite the batch rejection: status %d", seed, r.StatusCode)
+		}
+	}
+
+	// A two-point sweep hits the same admission check before streaming.
+	sweep := `{"template":{"kind":"scenario","id":"mobility-waypoint","seed":52,"trials":2},
+	           "grid":{"speed_mps":[0,2.5]}}`
+	requireRejected(post("/v1/sweeps", sweep))
+
+	// A single fresh spec fits the bound exactly, and resubmitting it —
+	// running or finished — registers nothing, so it passes too.
+	one := `{"kind":"scenario","id":"multilat-town","seed":50,"trials":2}`
+	id := submit(t, hs, one)[0].ID
+	if again := submit(t, hs, one); again[0].ID != id {
+		t.Errorf("resubmission at the bound changed the job id")
+	}
+	if v := poll(t, hs, id); v.Status != "done" {
+		t.Fatalf("admitted job ended %q: %s", v.Status, v.Error)
+	}
+}
+
+// readSweepStream POSTs a sweep document and parses the merged NDJSON
+// stream into its header, event lines, and trailing summary.
+func readSweepStream(t *testing.T, hs *httptest.Server, body string) (sweepHeader, []event, sweepSummary) {
+	t.Helper()
+	resp, err := http.Post(hs.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/sweeps: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("sweep stream content type %q", ct)
+	}
+	var lines []json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, json.RawMessage(strings.Clone(sc.Text())))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("sweep stream has %d lines, want header + summary at least", len(lines))
+	}
+	var hdr sweepHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		t.Fatalf("header line %s: %v", lines[0], err)
+	}
+	var sum sweepSummary
+	if err := json.Unmarshal(lines[len(lines)-1], &sum); err != nil {
+		t.Fatalf("summary line %s: %v", lines[len(lines)-1], err)
+	}
+	var events []event
+	for _, ln := range lines[1 : len(lines)-1] {
+		var e event
+		if err := json.Unmarshal(ln, &e); err != nil {
+			t.Fatalf("event line %s: %v", ln, err)
+		}
+		events = append(events, e)
+	}
+	return hdr, events, sum
+}
+
+// TestSweepEndpointMergedStream: a sweep expands server-side into
+// content-addressed jobs and streams one merged feed — header, per-job
+// terminal lines carrying results, final summary. The same points submitted
+// individually to /v1/jobs return byte-identical results, and re-running
+// the sweep answers every point from the cache.
+func TestSweepEndpointMergedStream(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	srv, hs := newTestServer(t, run.Options{CacheDir: cacheDir})
+	sweep := `{"template":{"kind":"scenario","id":"mobility-waypoint","trials":2,"params":{"epoch_s":4}},
+	           "grid":{"speed_mps":[0,2.5]},
+	           "seeds":[1,5]}`
+
+	hdr, events, sum := readSweepStream(t, hs, sweep)
+	if hdr.Points != 4 || len(hdr.Jobs) != 4 || hdr.TotalTrials != 8 {
+		t.Fatalf("sweep header %+v, want 4 points / 4 jobs / 8 trials", hdr)
+	}
+	if sum.Status != "done" || sum.Points != 4 || sum.Failed != 0 {
+		t.Fatalf("sweep summary %+v, want done 4/0", sum)
+	}
+	terminal := make(map[string]event)
+	for _, e := range events {
+		if e.Status != "" {
+			terminal[e.ID] = e
+		}
+	}
+	if len(terminal) != 4 {
+		t.Fatalf("got %d terminal lines, want 4: %+v", len(terminal), events)
+	}
+	for _, id := range hdr.Jobs {
+		e, ok := terminal[id]
+		if !ok || e.Status != "done" || e.Result == nil || e.Result.Report == nil {
+			t.Fatalf("job %s terminal line %+v, want done with a report", id, e)
+		}
+	}
+
+	// The same points submitted individually are the same jobs with
+	// byte-identical reports (cache-served now: the sweep already ran them).
+	for i, speed := range []string{"0", "2.5"} {
+		for j, seed := range []string{"1", "5"} {
+			body := fmt.Sprintf(`{"kind":"scenario","id":"mobility-waypoint","seed":%s,"trials":2,"params":{"epoch_s":4,"speed_mps":%s}}`,
+				seed, speed)
+			v := poll(t, hs, submit(t, hs, body)[0].ID)
+			// Seeds expand outermost, then the lone axis: jobs[seedIdx*2+speedIdx].
+			wantID := hdr.Jobs[j*2+i]
+			if v.ID != wantID {
+				t.Errorf("point speed=%s seed=%s is job %s, sweep expanded it as %s", speed, seed, v.ID, wantID)
+			}
+			if v.Status != "done" || v.Result == nil || v.Result.Report == nil {
+				t.Fatalf("individual job %+v", v)
+			}
+			got, _ := json.Marshal(v.Result.Report)
+			want, _ := json.Marshal(terminal[wantID].Result.Report)
+			if string(got) != string(want) {
+				t.Errorf("point speed=%s seed=%s diverged between sweep and individual submission\n got %s\nwant %s",
+					speed, seed, got, want)
+			}
+			if resolved := v.Params; resolved.Float("speed_mps") == 0 && speed != "0" {
+				t.Errorf("job summary params %s do not surface the operating point", resolved.Canonical())
+			}
+		}
+	}
+
+	// Re-running the sweep on the same server attaches every point to its
+	// finished job: no trial recomputes.
+	trialsBefore := srv.Session().TrialsExecuted()
+	_, _, sum2 := readSweepStream(t, hs, sweep)
+	if sum2.Status != "done" || sum2.Points != 4 {
+		t.Fatalf("second sweep run summary %+v", sum2)
+	}
+	if got := srv.Session().TrialsExecuted(); got != trialsBefore {
+		t.Errorf("second sweep run recomputed: %d trials executed, want still %d", got, trialsBefore)
+	}
+
+	// A fresh server over the same cache directory re-executes the sweep and
+	// answers every point from the populated result cache.
+	_, hs2 := newTestServer(t, run.Options{CacheDir: cacheDir})
+	_, warm, sum3 := readSweepStream(t, hs2, sweep)
+	if sum3.Status != "done" {
+		t.Fatalf("warm sweep run summary %+v", sum3)
+	}
+	for _, e := range warm {
+		if e.Status == "done" && !e.Cached {
+			t.Errorf("warm sweep run missed the result cache on job %s", e.ID)
+		}
+	}
+}
+
+// TestSweepEndpointErrors: malformed documents, invalid expansions, and
+// wire-unobservable templates are rejected before anything registers.
+func TestSweepEndpointErrors(t *testing.T) {
+	_, hs := newTestServer(t, run.Options{NoCache: true})
+	for body, want := range map[string]string{
+		`{not json`: "decode",
+		`{"template":{"kind":"scenario","id":"mobility-waypoint","seed":1},"gird":{"speed_mps":[1]}}`:       "unknown field",
+		`{"template":{"kind":"scenario","id":"mobility-waypoint","seed":1},"grid":{"speed_mps":[]}}`:        "has no values",
+		`{"template":{"kind":"scenario","id":"mobility-waypoint","seed":1},"grid":{"speed_mps":[99]}}`:      "out of range",
+		`{"template":{"kind":"scenario","id":"multilat-town","seed":1},"grid":{"drop":[1]}}`:                "takes no parameters",
+		`{"template":{"kind":"scenario","id":"multilat-town","seed":1,"keep_trial_values":true},"grid":{}}`: "not observable over the wire",
+	} {
+		resp, err := http.Post(hs.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(e.Error, want) {
+			t.Errorf("POST /v1/sweeps %q: status %d error %q, want 400 mentioning %q", body, resp.StatusCode, e.Error, want)
+		}
+	}
+}
+
+// TestThreeEntryPointByteIdentity is the parameterization acceptance check:
+// an operating point inexpressible before spec params — mobility-waypoint
+// at speed_mps 2.5 — produces byte-identical reports through the in-process
+// runner, POST /v1/jobs, and POST /v1/sweeps, across different worker
+// counts. Execution metadata (workers, wall time) is cleared before
+// comparison; everything else must match to the byte.
+func TestThreeEntryPointByteIdentity(t *testing.T) {
+	sp := spec.JobSpec{Kind: spec.KindScenario, ID: "mobility-waypoint", Seed: 1, Trials: 4,
+		Params: params.Map{"speed_mps": params.Num(2.5)}}
+
+	render := func(rep *engine.Report) string {
+		t.Helper()
+		rep.ClearExecutionMeta()
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	// Entry point 1: the in-process runner, serial.
+	sess, err := run.NewSession(run.Options{NoCache: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _, err := run.ExecuteSpec(sess, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Report == nil {
+		t.Fatalf("local run returned %+v, want a report", local)
+	}
+	want := render(local.Report)
+
+	// Entry point 2: the jobs endpoint, 8 workers.
+	_, hs1 := newTestServer(t, run.Options{NoCache: true, Workers: 8})
+	body := `{"kind":"scenario","id":"mobility-waypoint","seed":1,"trials":4,"params":{"speed_mps":2.5}}`
+	v := poll(t, hs1, submit(t, hs1, body)[0].ID)
+	if v.Status != "done" || v.Result == nil || v.Result.Report == nil {
+		t.Fatalf("wire job %+v", v)
+	}
+	if got := render(v.Result.Report); got != want {
+		t.Errorf("POST /v1/jobs diverged from the in-process runner\n got %s\nwant %s", got, want)
+	}
+
+	// Entry point 3: the sweeps endpoint on a fresh server, 2 workers, with
+	// the point spelled as a single-value grid axis.
+	_, hs2 := newTestServer(t, run.Options{NoCache: true, Workers: 2})
+	sweep := `{"template":{"kind":"scenario","id":"mobility-waypoint","seed":1,"trials":4},
+	           "grid":{"speed_mps":[2.5]}}`
+	hdr, events, sum := readSweepStream(t, hs2, sweep)
+	if hdr.Points != 1 || sum.Status != "done" {
+		t.Fatalf("sweep header %+v summary %+v", hdr, sum)
+	}
+	last := events[len(events)-1]
+	if last.Status != "done" || last.Result == nil || last.Result.Report == nil {
+		t.Fatalf("sweep terminal line %+v", last)
+	}
+	if last.ID != v.ID {
+		t.Errorf("sweep expanded the point as job %s, /v1/jobs addressed it as %s", last.ID, v.ID)
+	}
+	if got := render(last.Result.Report); got != want {
+		t.Errorf("POST /v1/sweeps diverged from the in-process runner\n got %s\nwant %s", got, want)
 	}
 }
 
