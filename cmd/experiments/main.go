@@ -105,7 +105,9 @@ func realMain(args []string, out io.Writer) error {
 	sweepFile := fs.String("sweep", "", "JSON sweep file (spec template + parameter grid) to expand and execute")
 	workers := fs.String("workers", "",
 		"comma-separated locd worker URLs: distribute each figure's trials across them instead of running locally")
-	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed figure (0 = one per worker; needs -workers)")
+	discover := fs.String("discover", "",
+		"fleet registry base URL to discover locd workers from (distributed mode, like -workers; mid-run joiners participate)")
+	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed figure (0 = elastic chunked scheduling with stealing)")
 	asJSON := fs.Bool("json", false, "emit results as a JSON array")
 	progress := fs.Bool("progress", true, "stream per-figure trial progress to stderr")
 	traceFile := fs.String("trace", "",
@@ -144,14 +146,14 @@ func realMain(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *workers != "" {
-		if err := runDistributed(ctx, out, specs, *workers, *ranges, *asJSON, *progress); err != nil {
+	if *workers != "" || *discover != "" {
+		if err := runDistributed(ctx, out, specs, *workers, *discover, *ranges, *asJSON, *progress); err != nil {
 			return err
 		}
 		return writeTrace(tracer, *traceFile)
 	}
 	if *ranges != 0 {
-		return fmt.Errorf("-ranges needs -workers")
+		return fmt.Errorf("-ranges needs -workers or -discover")
 	}
 	jobs, err := spec.ResolveAll(specs)
 	if err != nil {
@@ -230,12 +232,12 @@ func writeTrace(tracer *obs.Tracer, path string) error {
 // the trial-range coordinator. Figure results are byte-identical to the
 // local path (figures carry no execution metadata), so -json output matches
 // a local run exactly.
-func runDistributed(ctx context.Context, out io.Writer, specs []spec.JobSpec, workers string, ranges int, asJSON, progress bool) error {
+func runDistributed(ctx context.Context, out io.Writer, specs []spec.JobSpec, workers, discover string, ranges int, asJSON, progress bool) error {
 	urls := coord.ParseWorkers(workers)
 	var results []*experiments.Result
 	for _, sp := range specs {
 		start := time.Now()
-		opts := coord.Options{Workers: urls, Ranges: ranges, Warnings: os.Stderr}
+		opts := coord.Options{Workers: urls, Ranges: ranges, Discover: discover, Warnings: os.Stderr}
 		var sb *coord.Scoreboard
 		if progress && !asJSON {
 			sb = coord.NewScoreboard(os.Stderr, sp.ID)

@@ -12,18 +12,26 @@
 //	locc -workers ... -kind scenario -id mobility-waypoint -param speed_mps=2.5
 //	locc -workers ... -kind figure -id maxrange [-seed S] [-ranges N] [-stall-timeout 5m]
 //	locc -workers ... -kind figure -id maxrange -trace out.json
+//	locc -discover http://registry:8090 -kind scenario -id multilat-town [-resume]
 //
 // On a terminal, progress renders as a live per-worker scoreboard (ranges
-// won, trials/sec, retries, stall hedges). -trace writes the run's full
-// span tree — coordinator ranges and attempts, plus each winning worker's
-// job and engine-shard spans grafted beneath them — as Chrome trace_event
-// JSON, loadable in chrome://tracing or Perfetto.
+// won, trials/sec, retries, stall hedges, steals). -trace writes the run's
+// full span tree — coordinator ranges and attempts, plus each winning
+// worker's job and engine-shard spans grafted beneath them — as Chrome
+// trace_event JSON, loadable in chrome://tracing or Perfetto.
 //
-// Jobs run sequentially; each job's trials are what distribute. -ranges
-// controls the split granularity (default: one range per worker). Every
-// sub-job is content-addressed on the worker fleet — its spec hash is the
-// job ID and its range-extended cache key the on-disk record — so retried
-// or duplicated ranges are deduplicated, not recomputed.
+// Jobs run sequentially; each job's trials are what distribute. By default
+// scheduling is elastic: workers draw shard-aligned chunks, idle workers
+// steal unsubmitted work, and with -discover the fleet is read — and
+// re-read mid-run — from a membership registry (any locd serves one), so
+// workers that join while a job runs are put to work. -ranges N pins the
+// old fixed N-way split instead. -resume probes the fleet's range-keyed
+// caches for sub-ranges a crashed coordinator's run already completed and
+// re-executes only the gaps. Every sub-job is content-addressed on the
+// worker fleet — its spec hash is the job ID and its range-extended cache
+// key the on-disk record — so retried or duplicated ranges are
+// deduplicated, not recomputed, and a resumed result is byte-identical to
+// an uninterrupted one.
 package main
 
 import (
@@ -77,8 +85,14 @@ func buildSpecs(specFile, kind, id string, seed int64, trials, shardSize int, p 
 
 func realMain(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("locc", flag.ContinueOnError)
-	workersFlag := fs.String("workers", "", "comma-separated locd worker base URLs (required)")
-	ranges := fs.Int("ranges", 0, "trial sub-ranges per job (0 = one per worker)")
+	workersFlag := fs.String("workers", "", "comma-separated locd worker base URLs (required unless -discover is set)")
+	discover := fs.String("discover", "",
+		"fleet registry base URL to discover workers from (any locd serves one); re-polled mid-run for joiners")
+	discoverEvery := fs.Duration("discover-interval", 0,
+		"registry re-poll period with -discover (0 = default)")
+	resume := fs.Bool("resume", false,
+		"probe the fleet's range-keyed caches for a crashed coordinator's finished sub-ranges and run only the gaps")
+	ranges := fs.Int("ranges", 0, "trial sub-ranges per job (0 = elastic chunked scheduling with work stealing)")
 	stall := fs.Duration("stall-timeout", 0,
 		"event-stream silence before a range is hedged onto another worker (0 = default)")
 	specFile := fs.String("spec", "", "JSON job-spec file to execute (one object or an array)")
@@ -98,8 +112,8 @@ func realMain(args []string, out, errOut io.Writer) error {
 		return err
 	}
 	workers := coord.ParseWorkers(*workersFlag)
-	if len(workers) == 0 {
-		return fmt.Errorf("no workers: -workers http://host:8090[,http://host2:8090] is required")
+	if len(workers) == 0 && *discover == "" {
+		return fmt.Errorf("no workers: -workers http://host:8090[,http://host2:8090] or -discover http://registry:8090 is required")
 	}
 	specs, err := buildSpecs(*specFile, *kind, *id, *seed, *trials, *shardSize, pf.M)
 	if err != nil {
@@ -119,10 +133,13 @@ func realMain(args []string, out, errOut io.Writer) error {
 	var results []json.RawMessage
 	for _, sp := range specs {
 		opts := coord.Options{
-			Workers:      workers,
-			Ranges:       *ranges,
-			StallTimeout: *stall,
-			Warnings:     errOut,
+			Workers:          workers,
+			Ranges:           *ranges,
+			Discover:         *discover,
+			DiscoverInterval: *discoverEvery,
+			Resume:           *resume,
+			StallTimeout:     *stall,
+			Warnings:         errOut,
 		}
 		var sb *coord.Scoreboard
 		if *progress && !*asJSON {
@@ -153,8 +170,18 @@ func realMain(args []string, out, errOut io.Writer) error {
 		default:
 			return fmt.Errorf("%s: coordinator returned no figure or report", sp.ID)
 		}
-		fmt.Fprintf(out, "  (distributed: %d ranges over %d workers, %d retries (%d hedged, %d dedup losses), %v)\n\n",
-			st.Ranges, st.Workers, st.Retries, st.Hedges, st.DedupLosses,
+		extra := ""
+		if st.Steals > 0 {
+			extra += fmt.Sprintf(", %d steals", st.Steals)
+		}
+		if st.Joined > 0 || st.Left > 0 {
+			extra += fmt.Sprintf(", fleet %+d/%+d", st.Joined, -st.Left)
+		}
+		if st.ResumedRanges > 0 {
+			extra += fmt.Sprintf(", resumed %d trials in %d ranges", st.ResumedTrials, st.ResumedRanges)
+		}
+		fmt.Fprintf(out, "  (distributed: %d ranges over %d workers, %d retries (%d hedged, %d dedup losses)%s, %v)\n\n",
+			st.Ranges, st.Workers, st.Retries, st.Hedges, st.DedupLosses, extra,
 			time.Since(start).Round(time.Millisecond))
 	}
 	if tracer != nil {

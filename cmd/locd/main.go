@@ -12,6 +12,9 @@
 //	GET  /v1/jobs/{id}        job status, and the result once done
 //	GET  /v1/jobs/{id}/events NDJSON stream of trial-progress events
 //	GET  /v1/cache/{key}      raw result-cache entry by content address
+//	POST /v1/cache/ranges     range-keyed cache probe for coordinator crash-resume
+//	POST /v1/fleet/announce   fleet-membership announce/heartbeat/leave
+//	GET  /v1/fleet            live fleet membership (the registry view)
 //	GET  /metrics             Prometheus text exposition of all counters
 //	GET  /healthz             liveness + queue depth, in-flight jobs, budget saturation
 //
@@ -19,10 +22,19 @@
 //
 //	locd [-addr 127.0.0.1:8090] [-parallel W] [-suite-parallel C]
 //	     [-cache DIR | -no-cache] [-cache-gc=off] [-debug-addr 127.0.0.1:6060]
+//	     [-registry URL] [-advertise URL] [-announce-interval 3s]
 //
 // -debug-addr starts a second listener serving net/http/pprof under /debug/
 // plus a /metrics alias, kept off the job-serving address so profiling
 // endpoints are never exposed to job clients by accident.
+//
+// Every locd serves a fleet registry; -registry joins this worker to
+// another locd's registry (or its own — a one-daemon registry bootstrap):
+// it announces immediately, heartbeats every -announce-interval, and sends
+// a leaving announce on shutdown. -advertise is the base URL peers should
+// reach this worker at, defaulting to http://<addr>. Coordinators pointed
+// at the registry with -discover pick the whole fleet up, including
+// workers that join mid-run.
 //
 // Each submitted batch executes through run.ExecuteAll: up to
 // -suite-parallel campaigns overlap (default 0 = GOMAXPROCS — this is a
@@ -43,6 +55,9 @@ import (
 	"syscall"
 	"time"
 
+	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/cache"
+	"resilientloc/internal/engine/fleet"
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/locsrv"
 	"resilientloc/internal/obs"
@@ -70,6 +85,12 @@ func realMain(args []string) error {
 	fs.StringVar(&opts.CacheGC, "cache-gc", "on", "opportunistic cache garbage collection (on|off)")
 	fs.IntVar(&opts.SuiteParallel, "suite-parallel", 0,
 		"campaigns to overlap per submitted batch (0 = GOMAXPROCS)")
+	registry := fs.String("registry", "",
+		"fleet registry base URL to announce this worker to (any locd serves one, including this one)")
+	advertise := fs.String("advertise", "",
+		"base URL peers should reach this worker at (default: http://<addr>)")
+	announceEvery := fs.Duration("announce-interval", 0,
+		"heartbeat interval for -registry announces (0 = the fleet default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +102,34 @@ func realMain(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
+	announced := make(chan struct{})
+	if *registry != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + *addr
+		}
+		ann := &fleet.Announcer{
+			Registry: *registry,
+			Self: fleet.Announce{
+				URL:         self,
+				Capacity:    engine.SharedBudget().Cap(),
+				Fingerprint: cache.Fingerprint(),
+			},
+			Interval: *announceEvery,
+			Warn: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "locd: "+format+"\n", args...)
+			},
+		}
+		go func() {
+			defer close(announced)
+			fmt.Fprintf(os.Stderr, "locd: announcing %s to fleet registry %s\n", self, *registry)
+			if err := ann.Run(ctx); err != nil {
+				errc <- fmt.Errorf("fleet announcer: %w", err)
+			}
+		}()
+	} else {
+		close(announced)
+	}
 	if *debugAddr != "" {
 		ds := &http.Server{Addr: *debugAddr, Handler: debugHandler()}
 		go func() {
@@ -101,6 +150,12 @@ func realMain(args []string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Let the announcer send its leaving announce so the registry drops
+		// this worker immediately instead of waiting out the eviction window.
+		select {
+		case <-announced:
+		case <-time.After(3 * time.Second):
+		}
 		// Unblock long-lived event streams first: Shutdown waits for open
 		// connections, and an events subscriber on a running job would
 		// otherwise hold the daemon until the timeout on every restart.

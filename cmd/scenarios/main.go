@@ -81,7 +81,9 @@ func run(args []string, out io.Writer) error {
 	sweepFile := fs.String("sweep", "", "JSON sweep file (spec template + parameter grid) to expand and execute")
 	workers := fs.String("workers", "",
 		"comma-separated locd worker URLs: distribute each scenario's trials across them instead of running locally")
-	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed scenario (0 = one per worker; needs -workers)")
+	discover := fs.String("discover", "",
+		"fleet registry base URL to discover locd workers from (distributed mode, like -workers; mid-run joiners participate)")
+	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed scenario (0 = elastic chunked scheduling with stealing)")
 	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
 	progress := fs.Bool("progress", true, "stream per-scenario trial progress to stderr")
 	traceFile := fs.String("trace", "",
@@ -121,14 +123,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *workers != "" {
-		if err := runDistributed(ctx, out, specs, *workers, *ranges, *asJSON, *progress); err != nil {
+	if *workers != "" || *discover != "" {
+		if err := runDistributed(ctx, out, specs, *workers, *discover, *ranges, *asJSON, *progress); err != nil {
 			return err
 		}
 		return writeTrace(tracer, *traceFile)
 	}
 	if *ranges != 0 {
-		return fmt.Errorf("-ranges needs -workers")
+		return fmt.Errorf("-ranges needs -workers or -discover")
 	}
 	jobs, err := spec.ResolveAll(specs)
 	if err != nil {
@@ -185,11 +187,11 @@ func writeTrace(tracer *obs.Tracer, path string) error {
 // via the trial-range coordinator. Aggregates are byte-identical to the
 // local path; the report's execution metadata describes the coordinated run
 // (distinct workers used, coordination wall time).
-func runDistributed(ctx context.Context, out io.Writer, specs []spec.JobSpec, workers string, ranges int, asJSON, progress bool) error {
+func runDistributed(ctx context.Context, out io.Writer, specs []spec.JobSpec, workers, discover string, ranges int, asJSON, progress bool) error {
 	urls := coord.ParseWorkers(workers)
 	var reports []*engine.Report
 	for _, sp := range specs {
-		opts := coord.Options{Workers: urls, Ranges: ranges, Warnings: os.Stderr}
+		opts := coord.Options{Workers: urls, Ranges: ranges, Discover: discover, Warnings: os.Stderr}
 		var sb *coord.Scoreboard
 		if progress && !asJSON {
 			sb = coord.NewScoreboard(os.Stderr, sp.ID)

@@ -346,6 +346,70 @@ func (c *Cache) put(k Key, v any) error {
 	return nil
 }
 
+// RangeEntry locates one cached partial execution of a job: the trial
+// sub-range [Lo, Hi) it covers and the content address it is stored under
+// (fetchable via EntryByHash, locally or over locd's /v1/cache endpoint).
+type RangeEntry struct {
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+	Hash string `json:"hash"`
+}
+
+// RangeEntries scans the cache for partial-execution entries belonging to
+// the job identified by base: a key with RangeLo/RangeHi zero whose other
+// fields — including Retained — are what the job's partials carry. This is
+// the crash-resume probe: a restarted coordinator asks each worker for the
+// ranges its dead predecessor already banked, then re-executes only the
+// gaps. Entries are returned sorted by Lo ascending, then wider-first, the
+// order a greedy cover wants. The scan reads every entry's self-describing
+// key — the content address is one-way, so enumeration is the only way to
+// discover which ranges exist — which is fine at the cache sizes GC
+// maintains.
+func (c *Cache) RangeEntries(base Key) ([]RangeEntry, error) {
+	base.RangeLo, base.RangeHi = 0, 0
+	files, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: range scan: %w", err)
+	}
+	var out []RangeEntry
+	for _, de := range files {
+		name := de.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		hash := strings.TrimSuffix(name, ".json")
+		if len(hash) != 2*sha256.Size {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(c.dir, name))
+		if err != nil {
+			continue // raced with GC
+		}
+		var e struct {
+			Key Key `json:"key"`
+		}
+		if err := json.Unmarshal(b, &e); err != nil {
+			continue // corrupt entry; Get would treat it as a miss too
+		}
+		if e.Key.RangeHi <= e.Key.RangeLo || e.Key.Hash() != hash {
+			continue
+		}
+		k := e.Key
+		k.RangeLo, k.RangeHi = 0, 0
+		if k != base {
+			continue
+		}
+		out = append(out, RangeEntry{Lo: e.Key.RangeLo, Hi: e.Key.RangeHi, Hash: hash})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Hi > out[j].Hi
+	})
+	return out, nil
+}
+
 // EntryByHash returns the raw stored entry (key and value, self-describing
 // JSON) addressed by a key hash, as served over the wire by locd's
 // /v1/cache endpoint. The boolean reports existence. The hash is validated

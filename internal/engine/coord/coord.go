@@ -16,6 +16,21 @@
 // record), which makes duplicate completions harmless: a range retried or
 // hedged onto a second worker yields the same job ID and the same bytes,
 // and the coordinator keeps whichever copy arrives first.
+//
+// Partitioning has two modes. With Options.Ranges set, the trial space is
+// split up front into that many fixed ranges — the fully reproducible
+// scheduling older callers pin. With Ranges zero (the default), the
+// coordinator schedules elastically: each worker draws chunks — roughly
+// half its remaining assignment at a time, shard-sized at the tail — and
+// an idle worker steals the tail half of the largest unsubmitted
+// assignment in the fleet. Because only *unsubmitted* work moves, stealing
+// never duplicates a trial, and the chunks still tile the trial space
+// exactly, so the merged bytes are unchanged. Dynamic mode can also
+// discover its fleet from a membership registry (Options.Discover,
+// internal/engine/fleet) — re-polled during the run, so a worker that
+// joins mid-run is put to work by stealing — and resume a predecessor's
+// half-finished job (Options.Resume) by probing each worker's range-keyed
+// cache entries and re-executing only the gaps.
 package coord
 
 import (
@@ -28,11 +43,13 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/fleet"
 	"resilientloc/internal/engine/spec"
 	"resilientloc/internal/obs"
 )
@@ -41,12 +58,17 @@ import (
 // range completes exactly once (coord_ranges_total); extra submissions show
 // up as retries (worker failed) or hedges (worker stalled), and a hedge that
 // loses the completion race increments coord_dedup_losses_total — the cost
-// of the hedging policy, distinct from its benefit.
+// of the hedging policy, distinct from its benefit. Dynamic mode adds
+// steals (unsubmitted work moved to an idle worker — free by construction)
+// and resumed trials (recovered from a dead predecessor's range-keyed
+// cache entries instead of recomputed).
 var (
 	obsRanges    = obs.Default().Counter("coord_ranges_total")
 	obsRetries   = obs.Default().Counter("coord_retries_total")
 	obsHedges    = obs.Default().Counter("coord_hedges_total")
 	obsDedupLoss = obs.Default().Counter("coord_dedup_losses_total")
+	obsSteals    = obs.Default().Counter("coord_steals_total")
+	obsResumed   = obs.Default().Counter("coord_resumed_trials_total")
 )
 
 // DefaultStallTimeout is how long a range may go without any event-stream
@@ -55,16 +77,38 @@ var (
 // shard's compute time.
 const DefaultStallTimeout = 5 * time.Minute
 
+// DefaultDiscoverInterval is how often dynamic mode re-polls the fleet
+// registry for workers that joined or left mid-run.
+const DefaultDiscoverInterval = 2 * time.Second
+
 // Options configures a coordinated execution.
 type Options struct {
 	// Workers are the locd base URLs (e.g. "http://127.0.0.1:8090") the
-	// trial ranges are distributed across. At least one is required.
+	// trial ranges are distributed across. At least one is required unless
+	// Discover names a registry to find them in.
 	Workers []string
-	// Ranges is how many contiguous sub-ranges to split the trial space
-	// into; 0 means one per worker. It is clamped to the trial count. With
-	// a single range the job is submitted whole (no trial_range), so even
-	// single-trial campaigns coordinate.
+	// Ranges selects the partitioning mode. Positive: split the trial space
+	// up front into exactly that many contiguous ranges (clamped to the
+	// trial count; with a single range the job is submitted whole, so even
+	// single-trial campaigns coordinate). Zero (the default): dynamic mode —
+	// workers draw shard-aligned chunks from per-worker assignments, idle
+	// workers steal unsubmitted work from the busiest assignment, and
+	// mid-run joiners from Discover participate.
 	Ranges int
+	// Discover is a fleet-registry base URL (any locd serves one; see
+	// internal/engine/fleet). When set, the registry's live members are
+	// merged into Workers before execution, and dynamic mode keeps polling
+	// it during the run so workers that join mid-run are put to work.
+	Discover string
+	// DiscoverInterval is the registry re-poll period in dynamic mode;
+	// 0 means DefaultDiscoverInterval.
+	DiscoverInterval time.Duration
+	// Resume, in dynamic mode, probes every worker's range-keyed result
+	// cache for sub-ranges of this job a dead predecessor's run already
+	// completed (POST /v1/cache/ranges), merges those entries in, and
+	// executes only the gaps — the coordinator crash-recovery path. The
+	// resumed result is byte-identical to an uninterrupted run.
+	Resume bool
 	// Client is the HTTP client; nil means http.DefaultClient. Do not set
 	// a global Client.Timeout — event streams live as long as their jobs;
 	// stall detection is the liveness bound.
@@ -103,6 +147,9 @@ type WorkerScore struct {
 	// Hedges counts attempts on this worker that stalled long enough for the
 	// coordinator to hedge the range onto another worker.
 	Hedges int
+	// Steals counts the times this worker, idle, took unsubmitted work from
+	// another worker's assignment (dynamic mode only).
+	Steals int
 	// TrialsPerSec is Trials divided by the worker's cumulative winning-
 	// attempt wall time; 0 until the worker wins a range.
 	TrialsPerSec float64
@@ -127,6 +174,18 @@ type Stats struct {
 	DedupLosses int
 	// Workers is how many distinct workers completed at least one range.
 	Workers int
+	// Steals counts unsubmitted-work transfers to idle workers (dynamic
+	// mode). A steal moves work that had not started anywhere, so it never
+	// duplicates a trial.
+	Steals int
+	// Joined and Left count mid-run fleet membership changes observed from
+	// the registry (dynamic mode with Discover set).
+	Joined int
+	Left   int
+	// ResumedTrials and ResumedRanges describe work recovered from the
+	// fleet's range-keyed caches instead of recomputed (Options.Resume).
+	ResumedTrials int
+	ResumedRanges int
 }
 
 // Execute runs one job across the worker fleet and returns its full result
@@ -142,6 +201,20 @@ func Execute(ctx context.Context, sp spec.JobSpec, opts Options) (*spec.Value, S
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	if opts.Discover != "" {
+		view, derr := fleet.Discover(ctx, opts.Client, opts.Discover)
+		if derr != nil {
+			// With a static fallback list the run can proceed; without one
+			// the registry was the only source of workers.
+			if len(opts.Workers) == 0 {
+				return nil, Stats{}, fmt.Errorf("coord: discovering fleet: %w", derr)
+			}
+			warnTo(opts.Warnings, "coord: fleet discovery from %s failed (%v); using the static worker list\n",
+				opts.Discover, derr)
+		} else {
+			opts.Workers = mergeWorkerURLs(opts.Workers, view.URLs())
+		}
+	}
 	c, err := newCoordinator(job, opts)
 	if err != nil {
 		return nil, Stats{}, err
@@ -149,7 +222,7 @@ func Execute(ctx context.Context, sp spec.JobSpec, opts Options) (*spec.Value, S
 	ctx, jobSpan := obs.Start(ctx, "coord.job")
 	if jobSpan != nil {
 		jobSpan.SetAttr("job", sp.Hash()).SetAttr("scenario", job.Campaign.Scenario.Name).
-			SetAttr("trials", job.TotalTrials).SetAttr("ranges", len(c.ranges)).
+			SetAttr("trials", job.TotalTrials).SetAttr("dynamic", c.dynamic).
 			SetAttr("workers", len(c.workers))
 	}
 	defer jobSpan.End()
@@ -161,6 +234,31 @@ func Execute(ctx context.Context, sp spec.JobSpec, opts Options) (*spec.Value, S
 	st := c.stats()
 	val.SetExecutionMeta(st.Workers, time.Since(start).Seconds())
 	return val, st, nil
+}
+
+// warnTo writes a diagnostic to w, defaulting to stderr like every other
+// coordinator warning.
+func warnTo(w io.Writer, format string, args ...any) {
+	if w == nil {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, format, args...)
+}
+
+// mergeWorkerURLs unions the static worker list with discovered members,
+// normalized and deduplicated, static entries first.
+func mergeWorkerURLs(static, discovered []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, w := range append(append([]string{}, static...), discovered...) {
+		w = strings.TrimRight(strings.TrimSpace(w), "/")
+		if w == "" || seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	return out
 }
 
 // ParseWorkers splits a comma-separated -workers flag value into base
@@ -218,25 +316,53 @@ func SplitRanges(trials, k int) []spec.Range {
 }
 
 type coordinator struct {
-	job     spec.Resolved
-	workers []string
-	ranges  []spec.Range
-	client  *http.Client
-	stall   time.Duration
-	maxTry  int
-	onProg  func(done, total int)
-	warn    io.Writer
+	job      spec.Resolved
+	client   *http.Client
+	stall    time.Duration
+	maxTry   int
+	dynamic  bool // Ranges == 0: chunked assignments, stealing, discovery, resume
+	minChunk int  // smallest chunk dynamic mode carves: one effective shard
+	discover string
+	poll     time.Duration
+	resumeOn bool
+	onProg   func(done, total int)
+	warn     io.Writer
 
 	onScore func([]WorkerScore)
 
-	mu          sync.Mutex
-	rangeDone   []int
-	parts       []*spec.Value
-	retries     int
-	hedges      int
-	dedupLosses int
-	workersUsed map[string]bool
-	scores      map[string]*workerTally
+	mu      sync.Mutex
+	workers []string
+	// ranges/parts/rangeDone are parallel slices: the sub-ranges of the
+	// trial space, each slot's winning result, and its progress counter.
+	// Static mode fixes them up front; dynamic mode appends a slot per
+	// carved chunk (and per resumed cache entry), still tiling
+	// [0, TotalTrials) exactly.
+	ranges    []spec.Range
+	parts     []*spec.Value
+	rangeDone []int
+	// assign holds each worker's contiguous unsubmitted assignment; spare
+	// holds assignment intervals beyond the worker count (resume gaps,
+	// departed workers' leftovers). departed marks registry members that
+	// left mid-run; only workers in discovered (registry-sourced or
+	// registry-confirmed) are ever marked departed.
+	assign     map[string]*spec.Range
+	spare      []spec.Range
+	departed   map[string]bool
+	discovered map[string]bool
+	// drainCh closes when the assignment pool empties for good — the
+	// registry poller's cue that no joiner can be put to work anymore.
+	drainCh chan struct{}
+
+	retries       int
+	hedges        int
+	dedupLosses   int
+	steals        int
+	joined        int
+	left          int
+	resumedTrials int
+	resumedRanges int
+	workersUsed   map[string]bool
+	scores        map[string]*workerTally
 
 	// scoreMu serializes OnScoreboard invocations outside c.mu, so a slow
 	// renderer never blocks range completions.
@@ -249,11 +375,15 @@ type workerTally struct {
 	trials  int
 	retries int
 	hedges  int
+	steals  int
 	busy    time.Duration // wall time of winning attempts
 }
 
 func newCoordinator(job spec.Resolved, opts Options) (*coordinator, error) {
 	if len(opts.Workers) == 0 {
+		if opts.Discover != "" {
+			return nil, fmt.Errorf("coord: no workers registered at %s", opts.Discover)
+		}
 		return nil, fmt.Errorf("coord: no workers configured")
 	}
 	workers := make([]string, len(opts.Workers))
@@ -266,10 +396,6 @@ func newCoordinator(job spec.Resolved, opts Options) (*coordinator, error) {
 	}
 	if opts.Ranges < 0 {
 		return nil, fmt.Errorf("coord: negative range count %d", opts.Ranges)
-	}
-	k := opts.Ranges
-	if k == 0 {
-		k = len(workers)
 	}
 	stall := opts.StallTimeout
 	switch {
@@ -293,22 +419,50 @@ func newCoordinator(job spec.Resolved, opts Options) (*coordinator, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	ranges := SplitRanges(job.Trials, k)
-	return &coordinator{
+	poll := opts.DiscoverInterval
+	if poll <= 0 {
+		poll = DefaultDiscoverInterval
+	}
+	minChunk := job.ShardSize
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	c := &coordinator{
 		job:         job,
 		workers:     workers,
-		ranges:      ranges,
 		client:      client,
 		stall:       stall,
 		maxTry:      maxTry,
+		dynamic:     opts.Ranges == 0,
+		minChunk:    minChunk,
+		discover:    opts.Discover,
+		poll:        poll,
+		resumeOn:    opts.Resume,
 		onProg:      opts.OnProgress,
 		onScore:     opts.OnScoreboard,
 		warn:        warn,
-		rangeDone:   make([]int, len(ranges)),
-		parts:       make([]*spec.Value, len(ranges)),
+		assign:      make(map[string]*spec.Range),
+		departed:    make(map[string]bool),
+		discovered:  make(map[string]bool),
 		workersUsed: make(map[string]bool),
 		scores:      make(map[string]*workerTally),
-	}, nil
+	}
+	if c.dynamic {
+		c.drainCh = make(chan struct{})
+	} else {
+		c.ranges = SplitRanges(job.Trials, opts.Ranges)
+		c.parts = make([]*spec.Value, len(c.ranges))
+		c.rangeDone = make([]int, len(c.ranges))
+	}
+	return c, nil
+}
+
+// rangeAt reads one range slot under the lock — in dynamic mode the slice
+// grows (and may reallocate) while other ranges run.
+func (c *coordinator) rangeAt(i int) spec.Range {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ranges[i]
 }
 
 // tallyLocked returns the worker's score accumulator; the caller holds c.mu.
@@ -334,6 +488,7 @@ func (c *coordinator) scoreboard() []WorkerScore {
 			out[i].Trials = t.trials
 			out[i].Retries = t.retries
 			out[i].Hedges = t.hedges
+			out[i].Steals = t.steals
 			if secs := t.busy.Seconds(); secs > 0 {
 				out[i].TrialsPerSec = float64(t.trials) / secs
 			}
@@ -357,25 +512,29 @@ func (c *coordinator) stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Trials:      c.job.TotalTrials,
-		Ranges:      len(c.ranges),
-		Retries:     c.retries,
-		Hedges:      c.hedges,
-		DedupLosses: c.dedupLosses,
-		Workers:     len(c.workersUsed),
+		Trials:        c.job.TotalTrials,
+		Ranges:        len(c.ranges),
+		Retries:       c.retries,
+		Hedges:        c.hedges,
+		DedupLosses:   c.dedupLosses,
+		Workers:       len(c.workersUsed),
+		Steals:        c.steals,
+		Joined:        c.joined,
+		Left:          c.left,
+		ResumedTrials: c.resumedTrials,
+		ResumedRanges: c.resumedRanges,
 	}
 }
 
-// subSpec builds the content-addressed sub-job for one range. With a single
-// range the original spec is submitted whole, so the worker finalizes the
-// result itself (this is also what makes single-trial campaigns — which
-// cannot run partially — coordinate).
-func (c *coordinator) subSpec(i int) spec.JobSpec {
+// subSpecFor builds the content-addressed sub-job for one range. A range
+// covering the whole trial space submits the original spec whole, so the
+// worker finalizes the result itself (this is also what makes single-trial
+// campaigns — which cannot run partially — coordinate).
+func (c *coordinator) subSpecFor(rg spec.Range) spec.JobSpec {
 	sub := c.job.Spec
-	if len(c.ranges) == 1 {
+	if rg.Lo == 0 && rg.Hi == c.job.Trials {
 		return sub
 	}
-	rg := c.ranges[i]
 	sub.TrialRange = &spec.Range{Lo: rg.Lo, Hi: rg.Hi}
 	return sub
 }
@@ -385,6 +544,9 @@ func (c *coordinator) subSpec(i int) spec.JobSpec {
 // letting long sibling ranges run to completion would only delay the
 // inevitable error.
 func (c *coordinator) run(ctx context.Context) (*spec.Value, error) {
+	if c.dynamic {
+		return c.runDynamic(ctx)
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -396,7 +558,7 @@ func (c *coordinator) run(ctx context.Context) (*spec.Value, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := c.runRange(ctx, i); err != nil {
+			if err := c.runRange(ctx, i, ""); err != nil {
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -410,12 +572,29 @@ func (c *coordinator) run(ctx context.Context) (*spec.Value, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	if len(c.ranges) == 1 {
-		return c.parts[0], nil
+	return c.merge()
+}
+
+// merge assembles the completed range slots into the job's full value. A
+// single whole-space slot is already finalized by its worker; any true
+// partition goes through the engine's order-independent partial merge.
+func (c *coordinator) merge() (*spec.Value, error) {
+	c.mu.Lock()
+	ranges := append([]spec.Range(nil), c.ranges...)
+	parts := append([]*spec.Value(nil), c.parts...)
+	c.mu.Unlock()
+	if len(parts) == 1 && parts[0].Partial == nil {
+		return parts[0], nil
 	}
-	partials := make([]*engine.Partial, len(c.parts))
-	for i, v := range c.parts {
-		partials[i] = v.Partial
+	// Dynamic slots complete in carve order, not trial order.
+	idx := make([]int, len(parts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ranges[idx[a]].Lo < ranges[idx[b]].Lo })
+	partials := make([]*engine.Partial, len(parts))
+	for i, j := range idx {
+		partials[i] = parts[j].Partial
 	}
 	rep, err := engine.MergePartials(partials)
 	if err != nil {
@@ -433,8 +612,8 @@ func (c *coordinator) run(ctx context.Context) (*spec.Value, error) {
 // report says whether this completion won, and dur is the winning attempt's
 // wall time, credited to the worker's throughput score.
 func (c *coordinator) complete(i int, val *spec.Value, worker string, dur time.Duration) bool {
-	rg := c.ranges[i]
 	c.mu.Lock()
+	rg := c.ranges[i]
 	won := c.parts[i] == nil
 	if won {
 		c.parts[i] = val
@@ -492,17 +671,18 @@ func (c *coordinator) progress(i, done int) {
 // runRange drives one range to completion: submit to a worker, watch its
 // event stream, and on failure retry — or on stall hedge, leaving the slow
 // attempt racing — on the least-tried surviving worker, up to the attempt
-// budget.
-func (c *coordinator) runRange(ctx context.Context, i int) error {
+// budget. In dynamic mode preferred names the worker whose assignment the
+// chunk was carved from; it gets the first attempt unless it departed.
+func (c *coordinator) runRange(ctx context.Context, i int, preferred string) error {
+	rg := c.rangeAt(i)
 	ctx, rangeSpan := obs.Start(ctx, "coord.range")
 	if rangeSpan != nil {
-		rangeSpan.SetAttr("range", i).SetAttr("lo", c.ranges[i].Lo).SetAttr("hi", c.ranges[i].Hi)
+		rangeSpan.SetAttr("range", i).SetAttr("lo", rg.Lo).SetAttr("hi", rg.Hi)
 	}
 	defer rangeSpan.End()
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	sub := c.subSpec(i)
-	rg := c.ranges[i]
+	sub := c.subSpecFor(rg)
 
 	type result struct {
 		val    *spec.Value
@@ -513,11 +693,16 @@ func (c *coordinator) runRange(ctx context.Context, i int) error {
 	}
 	results := make(chan result)
 	stalls := make(chan string)
-	tried := make(map[string]int, len(c.workers))
+	tried := make(map[string]int)
 	attempts, pending := 0, 0
 
 	launch := func() {
-		worker := c.pickWorker(i, attempts, tried)
+		worker := ""
+		if attempts == 0 && preferred != "" && !c.hasDeparted(preferred) {
+			worker = preferred
+		} else {
+			worker = c.pickWorker(i, attempts, tried)
+		}
 		attempt := attempts
 		attempts++
 		tried[worker]++
@@ -630,17 +815,37 @@ func orStalled(err error) error {
 }
 
 // pickWorker spreads attempts: least-tried first, rotated by range index so
-// the initial assignment round-robins the fleet.
+// the initial assignment round-robins the fleet. Departed workers are
+// skipped unless every worker has departed (then any target beats none).
 func (c *coordinator) pickWorker(rangeIdx, attempt int, tried map[string]int) string {
+	c.mu.Lock()
+	workers := append([]string(nil), c.workers...)
+	live := workers[:0:0]
+	for _, w := range workers {
+		if !c.departed[w] {
+			live = append(live, w)
+		}
+	}
+	c.mu.Unlock()
+	if len(live) > 0 {
+		workers = live
+	}
 	best := ""
 	bestTries := 0
-	for off := 0; off < len(c.workers); off++ {
-		w := c.workers[(rangeIdx+attempt+off)%len(c.workers)]
+	for off := 0; off < len(workers); off++ {
+		w := workers[(rangeIdx+attempt+off)%len(workers)]
 		if best == "" || tried[w] < bestTries {
 			best, bestTries = w, tried[w]
 		}
 	}
 	return best
+}
+
+// hasDeparted reports whether the registry has declared the worker gone.
+func (c *coordinator) hasDeparted(worker string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.departed[worker]
 }
 
 // errPermanent marks a terminal job failure reported by a worker: the
@@ -678,6 +883,7 @@ type wireEvent struct {
 // to retry elsewhere; a stall is signaled on stalls while the attempt keeps
 // waiting (hedging).
 func (c *coordinator) runAttempt(ctx context.Context, worker string, sub spec.JobSpec, rangeIdx int, stalls chan<- string) (*spec.Value, []obs.SpanRecord, error) {
+	wantPartial := sub.TrialRange != nil
 	js, err := c.submit(ctx, worker, sub)
 	if err != nil {
 		return nil, nil, err
@@ -685,7 +891,7 @@ func (c *coordinator) runAttempt(ctx context.Context, worker string, sub spec.Jo
 	for {
 		switch js.Status {
 		case "done":
-			return c.takeResult(ctx, worker, js)
+			return c.takeResult(ctx, worker, js, wantPartial)
 		case "failed":
 			if js.Skipped {
 				// A batch sibling's failure; resubmission retries it fresh.
@@ -716,7 +922,7 @@ func (c *coordinator) runAttempt(ctx context.Context, worker string, sub spec.Jo
 			if err != nil {
 				return nil, nil, err
 			}
-			return c.takeResult(ctx, worker, full)
+			return c.takeResult(ctx, worker, full, wantPartial)
 		case "failed":
 			if ev.Skipped {
 				if js, err = c.submit(ctx, worker, sub); err != nil {
@@ -734,7 +940,7 @@ func (c *coordinator) runAttempt(ctx context.Context, worker string, sub spec.Jo
 // takeResult validates the finished job's result shape for this execution
 // (a partial for range sub-jobs, a finalized value otherwise) and carries
 // the worker's recorded span subtree along with it.
-func (c *coordinator) takeResult(ctx context.Context, worker string, js *wireJob) (*spec.Value, []obs.SpanRecord, error) {
+func (c *coordinator) takeResult(ctx context.Context, worker string, js *wireJob, wantPartial bool) (*spec.Value, []obs.SpanRecord, error) {
 	if js.Result == nil {
 		// A done job answered without its result (e.g. submit-time summary);
 		// fetch the full record.
@@ -747,7 +953,7 @@ func (c *coordinator) takeResult(ctx context.Context, worker string, js *wireJob
 			return nil, nil, fmt.Errorf("worker %s: done job %s carries no result", worker, js.ID)
 		}
 	}
-	if len(c.ranges) > 1 && js.Result.Partial == nil {
+	if wantPartial && js.Result.Partial == nil {
 		return nil, nil, fmt.Errorf("worker %s: range sub-job %s returned no partial aggregate", worker, js.ID)
 	}
 	return js.Result, js.Trace, nil

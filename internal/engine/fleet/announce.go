@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// AnnouncePath and ListPath are the registry's wire endpoints, served by
+// internal/locsrv on every locd.
+const (
+	AnnouncePath = "/v1/fleet/announce"
+	ListPath     = "/v1/fleet"
+)
+
+// Announcer keeps one worker registered: it announces immediately, then
+// heartbeats every Interval, and sends a leaving announce when its context
+// is cancelled. Run is the worker's registration lifetime.
+type Announcer struct {
+	// Registry is the registry's base URL (any locd serves one).
+	Registry string
+	// Self is the announce record to register. Leaving is managed by the
+	// announcer itself.
+	Self Announce
+	// Interval between heartbeats; 0 means DefaultHeartbeat.
+	Interval time.Duration
+	// Client is the HTTP client to announce with; nil means a client with a
+	// per-request timeout of Interval.
+	Client *http.Client
+	// Warn, when set, receives transient announce failures (the announcer
+	// keeps retrying on the next heartbeat — a down registry must not take
+	// the worker down with it).
+	Warn func(format string, args ...any)
+}
+
+// Run announces until ctx is cancelled, then deregisters. It only returns
+// an error for a misconfigured announcer; transient registry failures are
+// reported through Warn and retried.
+func (a *Announcer) Run(ctx context.Context) error {
+	if strings.TrimSpace(a.Registry) == "" {
+		return fmt.Errorf("fleet: announcer without a registry URL")
+	}
+	if err := a.Self.Validate(); err != nil {
+		return err
+	}
+	interval := a.Interval
+	if interval <= 0 {
+		interval = DefaultHeartbeat
+	}
+	client := a.Client
+	if client == nil {
+		client = &http.Client{Timeout: interval}
+	}
+	a.post(ctx, client, a.Self)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			// Deregister on a fresh context: ctx is already cancelled, and a
+			// clean leave is worth one short request.
+			leave, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			self := a.Self
+			self.Leaving = true
+			a.post(leave, client, self)
+			cancel()
+			return nil
+		case <-ticker.C:
+			a.post(ctx, client, a.Self)
+		}
+	}
+}
+
+func (a *Announcer) post(ctx context.Context, client *http.Client, ann Announce) {
+	if err := postAnnounce(ctx, client, a.Registry, ann); err != nil && ctx.Err() == nil && a.Warn != nil {
+		a.Warn("fleet: announce to %s failed: %v", a.Registry, err)
+	}
+}
+
+// PostAnnounce sends a single announce record to a registry.
+func PostAnnounce(ctx context.Context, client *http.Client, registry string, ann Announce) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return postAnnounce(ctx, client, registry, ann)
+}
+
+func postAnnounce(ctx context.Context, client *http.Client, registry string, ann Announce) error {
+	body, err := json.Marshal(ann)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(registry, "/")+AnnouncePath, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("registry returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}

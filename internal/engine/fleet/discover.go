@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// View is the registry's GET /v1/fleet response: the live membership plus
+// the heartbeat deadline the registry enforces, so clients can size their
+// own polling.
+type View struct {
+	Workers           []Member `json:"workers"`
+	EvictAfterSeconds float64  `json:"evict_after_seconds"`
+}
+
+// Discover fetches the live fleet from a registry. A nil client uses
+// http.DefaultClient.
+func Discover(ctx context.Context, client *http.Client, registry string) (View, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var view View
+	if strings.TrimSpace(registry) == "" {
+		return view, fmt.Errorf("fleet: discover without a registry URL")
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(registry, "/")+ListPath, nil)
+	if err != nil {
+		return view, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return view, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return view, fmt.Errorf("fleet: registry %s returned %s: %s", registry, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return view, fmt.Errorf("fleet: decoding registry response: %w", err)
+	}
+	return view, nil
+}
+
+// URLs returns the members' base URLs in the registry's deterministic
+// (sorted) order — the shape the coordinator's worker list wants.
+func (v View) URLs() []string {
+	out := make([]string, len(v.Workers))
+	for i, m := range v.Workers {
+		out[i] = m.URL
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryAnnounceEvictLeave(t *testing.T) {
+	r := NewRegistry(10 * time.Second)
+	clock := time.Unix(1000, 0)
+	r.now = func() time.Time { return clock }
+
+	joined, err := r.Announce(Announce{URL: "http://a:1/", Capacity: 4, Fingerprint: "aaaa"})
+	if err != nil || !joined {
+		t.Fatalf("first announce: joined=%v err=%v", joined, err)
+	}
+	joined, err = r.Announce(Announce{URL: "http://a:1", Capacity: 8})
+	if err != nil || joined {
+		t.Fatalf("re-announce should not be a join: joined=%v err=%v", joined, err)
+	}
+	if _, err := r.Announce(Announce{URL: "http://b:2", Capacity: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ms := r.Members()
+	if len(ms) != 2 || ms[0].URL != "http://a:1" || ms[1].URL != "http://b:2" {
+		t.Fatalf("members = %+v", ms)
+	}
+	if ms[0].Capacity != 8 {
+		t.Fatalf("re-announce should update capacity, got %d", ms[0].Capacity)
+	}
+
+	// b heartbeats, a goes silent past the eviction window.
+	clock = clock.Add(9 * time.Second)
+	if _, err := r.Announce(Announce{URL: "http://b:2", Capacity: 2}); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(2 * time.Second)
+	ms = r.Members()
+	if len(ms) != 1 || ms[0].URL != "http://b:2" {
+		t.Fatalf("expected a evicted, members = %+v", ms)
+	}
+
+	// A clean leave removes immediately.
+	if _, err := r.Announce(Announce{URL: "http://b:2", Leaving: true}); err != nil {
+		t.Fatal(err)
+	}
+	if ms := r.Members(); len(ms) != 0 {
+		t.Fatalf("expected empty after leave, members = %+v", ms)
+	}
+
+	// An evicted worker that comes back counts as a fresh join.
+	joined, err = r.Announce(Announce{URL: "http://a:1"})
+	if err != nil || !joined {
+		t.Fatalf("rejoin after eviction: joined=%v err=%v", joined, err)
+	}
+}
+
+func TestRegistryRejectsBadAnnounce(t *testing.T) {
+	r := NewRegistry(0)
+	for _, a := range []Announce{
+		{},
+		{URL: "not a url"},
+		{URL: "/relative/only"},
+		{URL: "http://ok:1", Capacity: -1},
+	} {
+		if _, err := r.Announce(a); err == nil {
+			t.Fatalf("announce %+v should be rejected", a)
+		}
+	}
+	if len(r.Members()) != 0 {
+		t.Fatal("rejected announces must not register members")
+	}
+}
+
+func TestAnnouncerLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	var got []Announce
+	seen := make(chan struct{}, 16)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost || req.URL.Path != AnnouncePath {
+			http.NotFound(w, req)
+			return
+		}
+		var a Announce
+		if err := json.NewDecoder(req.Body).Decode(&a); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		got = append(got, a)
+		mu.Unlock()
+		seen <- struct{}{}
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	ann := &Announcer{
+		Registry: srv.URL,
+		Self:     Announce{URL: "http://worker:9", Capacity: 3, Fingerprint: "ffff"},
+		Interval: 20 * time.Millisecond,
+	}
+	go func() { done <- ann.Run(ctx) }()
+
+	// At least the immediate announce plus one heartbeat.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-seen:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for announce")
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("announcer run: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) < 3 {
+		t.Fatalf("expected announce + heartbeat + leave, got %d records", len(got))
+	}
+	last := got[len(got)-1]
+	if !last.Leaving {
+		t.Fatalf("final announce should be a leave, got %+v", last)
+	}
+	for _, a := range got {
+		if a.URL != "http://worker:9" || a.Capacity != 3 || a.Fingerprint != "ffff" {
+			t.Fatalf("announce payload corrupted: %+v", a)
+		}
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet || req.URL.Path != ListPath {
+			http.NotFound(w, req)
+			return
+		}
+		json.NewEncoder(w).Encode(View{
+			Workers:           []Member{{URL: "http://a:1", Capacity: 4}, {URL: "http://b:2", Capacity: 2}},
+			EvictAfterSeconds: 15,
+		})
+	}))
+	defer srv.Close()
+
+	view, err := Discover(context.Background(), nil, srv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := view.URLs()
+	if len(urls) != 2 || urls[0] != "http://a:1" || urls[1] != "http://b:2" {
+		t.Fatalf("urls = %v", urls)
+	}
+	if view.EvictAfterSeconds != 15 {
+		t.Fatalf("evict_after_seconds = %v", view.EvictAfterSeconds)
+	}
+
+	if _, err := Discover(context.Background(), nil, srv.URL+"/missing"); err == nil {
+		t.Fatal("discover against a non-registry path should fail")
+	}
+}
+
+func TestAnnouncerMisconfigured(t *testing.T) {
+	if err := (&Announcer{Self: Announce{URL: "http://w:1"}}).Run(context.Background()); err == nil {
+		t.Fatal("announcer without registry should error")
+	}
+	if err := (&Announcer{Registry: "http://r:1", Self: Announce{}}).Run(context.Background()); err == nil {
+		t.Fatal("announcer with invalid self should error")
+	}
+}

@@ -318,6 +318,94 @@ func (s *Session) CacheEntry(hash string) ([]byte, bool, error) {
 	return s.cache.EntryByHash(hash)
 }
 
+// jobCacheKey builds the cache key of job's full run — the identity that
+// every range-keyed partial of the job shares once RangeLo/RangeHi (and
+// the partial retention flag) are stamped on top. One function so
+// execution and the crash-resume probe can never drift apart on what a
+// job's content address is.
+func jobCacheKey(job spec.Resolved, trials, shardSize int) cache.Key {
+	key := cache.Key{
+		Kind:        job.Spec.Kind,
+		Scenario:    job.Campaign.Scenario.Name,
+		Seed:        job.Spec.Seed,
+		Trials:      trials,
+		ShardSize:   shardSize,
+		Fingerprint: cache.Fingerprint(),
+	}
+	if len(job.Params) > 0 {
+		key.Params = string(job.Params.Canonical())
+	}
+	return key
+}
+
+// RangeProbe is the crash-resume probe result for one job: the content
+// address of the job's full-run cache entry when one exists, plus every
+// cached partial-range entry — all keyed with this process's own binary
+// fingerprint, which is exactly why the probe runs on the worker (over
+// locd's POST /v1/cache/ranges) rather than on the coordinator, whose
+// binary hashes differently.
+type RangeProbe struct {
+	// Trials is the job's effective full trial count [0, Trials) — the
+	// space the coordinator must cover.
+	Trials int `json:"trials"`
+	// Full is the hash of the full-run entry, empty when only partials (or
+	// nothing) are cached.
+	Full string `json:"full,omitempty"`
+	// Ranges are the cached partial executions, sorted by Lo then
+	// wider-first.
+	Ranges []cache.RangeEntry `json:"ranges,omitempty"`
+}
+
+// RangeEntries probes the session's cache for results a previous run of sp
+// (or its sub-ranges) already banked. The spec must describe the full job:
+// a spec carrying its own trial range has nothing to resume. A session
+// without a cache answers with no entries rather than an error.
+func (s *Session) RangeEntries(sp spec.JobSpec) (RangeProbe, error) {
+	if sp.TrialRange != nil {
+		return RangeProbe{}, fmt.Errorf("run: range probe wants the full job, not sub-range [%d, %d)",
+			sp.TrialRange.Lo, sp.TrialRange.Hi)
+	}
+	job, err := spec.Resolve(sp)
+	if err != nil {
+		return RangeProbe{}, err
+	}
+	// Re-derive the effective trials/shard size exactly as execution does —
+	// through the session's runner config — so probe keys and execution keys
+	// are the same bytes by construction.
+	runner, err := engine.NewRunner(engine.Config{
+		Workers:   s.opts.Workers,
+		Trials:    job.Spec.Trials,
+		Seed:      job.Spec.Seed,
+		ShardSize: job.Spec.ShardSize,
+	})
+	if err != nil {
+		return RangeProbe{}, err
+	}
+	trials, shardSize := engine.CampaignConfig(runner, job.Campaign)
+	probe := RangeProbe{Trials: trials}
+	if s.cache == nil {
+		return probe, nil
+	}
+	base := jobCacheKey(job, trials, shardSize)
+	// Full runs never cache retained values, so the full key carries no
+	// retention flag; partials key it from the campaign's effective
+	// retention (see executeResolved).
+	if !job.Spec.KeepTrialValues {
+		hash := base.Hash()
+		if _, ok, err := s.cache.EntryByHash(hash); err == nil && ok {
+			probe.Full = hash
+		}
+	}
+	partial := base
+	partial.Retained = job.Campaign.KeepTrialValues
+	ranges, err := s.cache.RangeEntries(partial)
+	if err != nil {
+		return probe, err
+	}
+	probe.Ranges = ranges
+	return probe, nil
+}
+
 // Info describes how one job execution was satisfied.
 type Info struct {
 	// Cached reports that the result came from the cache with no trial
@@ -459,17 +547,7 @@ func executeResolved(ctx context.Context, s *Session, job spec.Resolved) (*spec.
 	if cacheable {
 		// The key (and the whole-binary fingerprint it embeds) is only
 		// worth computing when a cache exists to consult.
-		key = cache.Key{
-			Kind:        job.Spec.Kind,
-			Scenario:    name,
-			Seed:        job.Spec.Seed,
-			Trials:      trials,
-			ShardSize:   shardSize,
-			Fingerprint: cache.Fingerprint(),
-		}
-		if len(job.Params) > 0 {
-			key.Params = string(job.Params.Canonical())
-		}
+		key = jobCacheKey(job, trials, shardSize)
 		if rng != nil {
 			key.RangeLo, key.RangeHi = rng.Lo, rng.Hi
 			// Retained and unretained partials of one range store different

@@ -1,0 +1,158 @@
+package locsrv
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilientloc/internal/engine/fleet"
+	"resilientloc/internal/engine/run"
+	"resilientloc/internal/engine/spec"
+)
+
+// TestFleetEndpoints: workers register through POST /v1/fleet/announce,
+// GET /v1/fleet lists them (with the eviction window), leaves remove them,
+// and malformed announces are rejected without registering.
+func TestFleetEndpoints(t *testing.T) {
+	_, hs := newTestServer(t, run.Options{NoCache: true})
+
+	announce := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/fleet/announce", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	list := func() fleet.View {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/v1/fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/fleet: status %d", resp.StatusCode)
+		}
+		var v fleet.View
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	resp := announce(`{"url":"http://w1:8090","capacity":4,"fingerprint":"abcd"}`)
+	var joined struct {
+		Joined bool `json:"joined"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&joined); err != nil || resp.StatusCode != http.StatusOK || !joined.Joined {
+		t.Fatalf("first announce: status %d joined=%v err=%v", resp.StatusCode, joined.Joined, err)
+	}
+	resp.Body.Close()
+	if resp := announce(`{"url":"http://w2:8090","capacity":2}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second announce: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	v := list()
+	if len(v.Workers) != 2 || v.Workers[0].URL != "http://w1:8090" || v.Workers[1].URL != "http://w2:8090" {
+		t.Fatalf("fleet = %+v", v.Workers)
+	}
+	if v.Workers[0].Capacity != 4 || v.Workers[0].Fingerprint != "abcd" {
+		t.Fatalf("member metadata = %+v", v.Workers[0])
+	}
+	if v.EvictAfterSeconds != fleet.DefaultEvictAfter.Seconds() {
+		t.Errorf("evict_after_seconds = %v", v.EvictAfterSeconds)
+	}
+
+	if resp := announce(`{"url":"http://w1:8090","leaving":true}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if v := list(); len(v.Workers) != 1 || v.Workers[0].URL != "http://w2:8090" {
+		t.Fatalf("fleet after leave = %+v", v.Workers)
+	}
+
+	for _, bad := range []string{`{}`, `{"url":"no-scheme"}`, `{"url":"http://w3:1","capacity":-2}`, `not json`} {
+		resp := announce(bad)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("announce %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if v := list(); len(v.Workers) != 1 {
+		t.Fatalf("rejected announces registered members: %+v", v.Workers)
+	}
+}
+
+// TestCacheRangesEndpoint: POST /v1/cache/ranges answers with the
+// range-keyed entries this worker banked for a job, and each reported hash
+// is fetchable through GET /v1/cache/{key} — the wire loop the resuming
+// coordinator drives.
+func TestCacheRangesEndpoint(t *testing.T) {
+	srv, hs := newTestServer(t, run.Options{CacheDir: filepath.Join(t.TempDir(), "cache")})
+
+	// Bank two ranges directly through the server's session, as finished
+	// sub-jobs of a dead coordinator would have.
+	full := spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-town", Seed: 91, Trials: 8, ShardSize: 2}
+	for _, rg := range [][2]int{{0, 4}, {6, 8}} {
+		sub := full
+		sub.TrialRange = &spec.Range{Lo: rg[0], Hi: rg[1]}
+		if _, _, err := run.ExecuteSpec(srv.Session(), sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	body, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/v1/cache/ranges", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/cache/ranges: status %d", resp.StatusCode)
+	}
+	var probe run.RangeProbe
+	if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Trials != 8 || probe.Full != "" || len(probe.Ranges) != 2 {
+		t.Fatalf("probe = %+v", probe)
+	}
+	if probe.Ranges[0].Lo != 0 || probe.Ranges[0].Hi != 4 || probe.Ranges[1].Lo != 6 || probe.Ranges[1].Hi != 8 {
+		t.Fatalf("probe ranges = %+v", probe.Ranges)
+	}
+	for _, re := range probe.Ranges {
+		er, err := http.Get(hs.URL + "/v1/cache/" + re.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er.Body.Close()
+		if er.StatusCode != http.StatusOK {
+			t.Errorf("GET /v1/cache/%s: status %d", re.Hash, er.StatusCode)
+		}
+	}
+
+	// A batch body or a sub-range spec is rejected.
+	for _, bad := range []string{
+		`[{"kind":"scenario","id":"multilat-town","seed":91,"trials":8,"shard_size":2},
+		  {"kind":"scenario","id":"multilat-town","seed":92,"trials":8,"shard_size":2}]`,
+		`{"kind":"scenario","id":"multilat-town","seed":91,"trials":8,"shard_size":2,"trial_range":{"lo":0,"hi":4}}`,
+	} {
+		resp, err := http.Post(hs.URL+"/v1/cache/ranges", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("probe body %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

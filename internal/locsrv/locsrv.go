@@ -23,6 +23,9 @@
 //	GET  /v1/jobs/{id}        job status, and the result once done
 //	GET  /v1/jobs/{id}/events NDJSON stream of trial-progress events
 //	GET  /v1/cache/{key}      raw result-cache entry by content address
+//	POST /v1/cache/ranges     crash-resume probe: cached ranges of a job spec
+//	POST /v1/fleet/announce   worker registration heartbeat (fleet registry)
+//	GET  /v1/fleet            live fleet membership
 //	GET  /healthz             liveness
 //
 // Every events stream that observes its job finish ends with a terminal
@@ -30,10 +33,16 @@
 // retryable "skipped" marker) — so stream consumers can distinguish a job
 // failure from a mere disconnect, which never carries a status line.
 //
-// Submissions that would push the running-job table past its bound are
-// rejected whole with 429 and a Retry-After header derived from the same
-// queue-depth signal /healthz reports, so a fleet scheduler can back off
+// Submissions that would push the running-job table past its admission
+// bound — sized from the shared shard budget's capacity, so a big machine
+// queues proportionally more than a small one — are rejected whole with
+// 429 and a Retry-After header scaled by queue depth and actual budget
+// saturation (Budget.InUse vs capacity), so a fleet scheduler can back off
 // instead of piling work onto a saturated worker.
+//
+// Every server also hosts a fleet registry (internal/engine/fleet): locd
+// workers announce themselves to any one of them, and coordinators
+// discover the fleet from it instead of being handed a static worker list.
 package locsrv
 
 import (
@@ -46,6 +55,7 @@ import (
 	"sync"
 
 	"resilientloc/internal/engine"
+	"resilientloc/internal/engine/fleet"
 	"resilientloc/internal/engine/params"
 	"resilientloc/internal/engine/run"
 	"resilientloc/internal/engine/spec"
@@ -79,16 +89,30 @@ type job struct {
 // job). Running jobs are never evicted. A variable so tests can shrink it.
 var maxFinishedJobs = 1024
 
-// maxRunningJobs bounds the "running" set of the job table: a submission —
-// single spec, batch, or sweep — whose fresh registrations would push the
-// running count past this is rejected whole with 429, before any of its
-// jobs register. Resubmissions of in-flight or finished jobs are free (they
-// attach, registering nothing). A variable so tests can shrink it.
-var maxRunningJobs = 256
+// runningPerSlot sizes the admission bound per shard-budget slot: the
+// "running" set of the job table may hold at most runningPerSlot jobs per
+// slot of the shared budget's capacity. A submission — single spec, batch,
+// or sweep — whose fresh registrations would push the running count past
+// that is rejected whole with 429, before any of its jobs register.
+// Resubmissions of in-flight or finished jobs are free (they attach,
+// registering nothing). Tying the bound to budget capacity instead of a
+// fixed count means a 32-core worker admits a proportionally deeper queue
+// than a 2-core one — the bound tracks what the machine can actually
+// drain. A variable so tests can shrink it.
+var runningPerSlot = 32
+
+// admissionBudget is the budget whose capacity and saturation the 429
+// admission bound derives from: the process-wide shard budget in
+// production, a pinned tiny budget in tests.
+var admissionBudget = engine.SharedBudget
+
+// maxRunningJobs returns the current admission bound on the running set.
+func maxRunningJobs() int { return runningPerSlot * admissionBudget().Cap() }
 
 // overloadError reports a rejected submission: the batch's fresh jobs plus
-// the currently running set would exceed maxRunningJobs. RetryAfter is the
-// suggested back-off in seconds, scaled by the suite-scheduler queue depth.
+// the currently running set would exceed the budget-derived admission
+// bound. RetryAfter is the suggested back-off in seconds, scaled by the
+// suite-scheduler queue depth and the budget's saturation.
 type overloadError struct {
 	fresh, running, limit int
 	retryAfter            int
@@ -100,10 +124,15 @@ func (e *overloadError) Error() string {
 }
 
 // retryAfterSeconds scales the back-off hint with the suite-scheduler queue
-// depth (the run_jobs_queued gauge /healthz also reports): an idle-but-full
-// table suggests 1s, a deep queue up to a minute.
+// depth (the run_jobs_queued gauge /healthz also reports) and the shard
+// budget's actual saturation: an idle-but-full table suggests 1s, a fully
+// saturated budget adds a few seconds, and a deep queue pushes toward the
+// one-minute ceiling.
 func retryAfterSeconds() int {
 	retry := 1 + int(obs.Default().Gauge("run_jobs_queued").Value())/64
+	if b := admissionBudget(); b.Cap() > 0 {
+		retry += (4 * b.InUse()) / b.Cap()
+	}
 	if retry > 60 {
 		retry = 60
 	}
@@ -113,9 +142,10 @@ func retryAfterSeconds() int {
 // Server is the job table and its execution session. Zero value is not
 // usable; construct with New.
 type Server struct {
-	sess *run.Session
-	stop chan struct{} // closed by Close to unblock event streams
-	once sync.Once
+	sess  *run.Session
+	fleet *fleet.Registry
+	stop  chan struct{} // closed by Close to unblock event streams
+	once  sync.Once
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -127,7 +157,11 @@ type Server struct {
 // NewSession needs the final Options — the hook only dereferences the
 // server, which is ready.
 func New(opts run.Options) (*Server, error) {
-	s := &Server{jobs: make(map[string]*job), stop: make(chan struct{})}
+	s := &Server{
+		jobs:  make(map[string]*job),
+		fleet: fleet.NewRegistry(0),
+		stop:  make(chan struct{}),
+	}
 	opts.OnProgress = s.onProgress
 	sess, err := run.NewSession(opts)
 	if err != nil {
@@ -140,6 +174,10 @@ func New(opts run.Options) (*Server, error) {
 // Session exposes the server's execution session (cache directory, trial
 // accounting).
 func (s *Server) Session() *run.Session { return s.sess }
+
+// Fleet exposes the server's membership registry: every locd hosts one, so
+// any worker can double as the fleet's discovery point.
+func (s *Server) Fleet() *fleet.Registry { return s.fleet }
 
 // Close unblocks every open event stream; idempotent. Call it before HTTP
 // server shutdown, which waits for open connections — a subscriber on a
@@ -156,6 +194,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/cache/{key}", s.handleCache)
+	mux.HandleFunc("POST /v1/cache/ranges", s.handleCacheRanges)
+	mux.HandleFunc("POST "+fleet.AnnouncePath, s.handleFleetAnnounce)
+	mux.HandleFunc("GET "+fleet.ListPath, s.handleFleetList)
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -359,9 +400,9 @@ func (s *Server) registerJobs(resolved []spec.Resolved) ([]jobSummary, []*job, [
 			freshIDs[id] = true
 		}
 	}
-	if running+len(freshIDs) > maxRunningJobs {
+	if limit := maxRunningJobs(); running+len(freshIDs) > limit {
 		return nil, nil, nil, &overloadError{
-			fresh: len(freshIDs), running: running, limit: maxRunningJobs,
+			fresh: len(freshIDs), running: running, limit: limit,
 			retryAfter: retryAfterSeconds(),
 		}
 	}
@@ -782,4 +823,54 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(b)
+}
+
+// handleCacheRanges is the crash-resume probe: the body is one full-job
+// spec, and the response is the run.RangeProbe of everything this worker's
+// cache has banked for it — the full-run entry's content address (if any)
+// and every partial-range entry, keyed with this worker's own binary
+// fingerprint. A restarted coordinator probes each worker, greedily covers
+// the trial space from the answers, fetches the chosen entries via
+// GET /v1/cache/{key}, and re-executes only the gaps.
+func (s *Server) handleCacheRanges(w http.ResponseWriter, r *http.Request) {
+	specs, err := spec.Decode(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(specs) != 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("range probe wants exactly one job spec, got %d", len(specs)))
+		return
+	}
+	probe, err := s.sess.RangeEntries(specs[0])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, probe)
+}
+
+// handleFleetAnnounce registers (or, for a leaving announce, removes) one
+// worker in this server's fleet registry.
+func (s *Server) handleFleetAnnounce(w http.ResponseWriter, r *http.Request) {
+	var a fleet.Announce
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<10)).Decode(&a); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	joined, err := s.fleet.Announce(a)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"joined": joined})
+}
+
+// handleFleetList serves the live fleet membership plus the registry's
+// eviction window, so clients can size their own polling against it.
+func (s *Server) handleFleetList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, fleet.View{
+		Workers:           s.fleet.Members(),
+		EvictAfterSeconds: s.fleet.EvictAfter().Seconds(),
+	})
 }

@@ -532,14 +532,19 @@ func TestEventsTerminalFailedLine(t *testing.T) {
 }
 
 // TestBackpressure429: a submission whose fresh jobs would push the running
-// set past maxRunningJobs is rejected whole — 429, a Retry-After header,
-// and no partial registration — on both the jobs and sweeps endpoints.
+// set past the budget-derived admission bound (runningPerSlot jobs per
+// shard-budget slot) is rejected whole — 429, a Retry-After header, and no
+// partial registration — on both the jobs and sweeps endpoints.
 // Deduplicating resubmissions register nothing, so they pass even at the
 // bound.
 func TestBackpressure429(t *testing.T) {
-	prev := maxRunningJobs
-	maxRunningJobs = 1
-	defer func() { maxRunningJobs = prev }()
+	// Pin the bound to exactly one job: one running slot per budget slot on
+	// a one-slot budget.
+	prevPer, prevBudget := runningPerSlot, admissionBudget
+	runningPerSlot = 1
+	tiny := engine.NewBudget(1)
+	admissionBudget = func() *engine.Budget { return tiny }
+	defer func() { runningPerSlot, admissionBudget = prevPer, prevBudget }()
 	_, hs := newTestServer(t, run.Options{NoCache: true})
 
 	post := func(path, body string) *http.Response {
