@@ -27,11 +27,16 @@
 // workers that join while a job runs are put to work. -ranges N pins the
 // old fixed N-way split instead. -resume probes the fleet's range-keyed
 // caches for sub-ranges a crashed coordinator's run already completed and
-// re-executes only the gaps. Every sub-job is content-addressed on the
-// worker fleet — its spec hash is the job ID and its range-extended cache
-// key the on-disk record — so retried or duplicated ranges are
-// deduplicated, not recomputed, and a resumed result is byte-identical to
-// an uninterrupted one.
+// re-executes only the gaps. -reuse (on by default) extends that probe to
+// ranges banked under a *different* trial count, so growing a previously
+// coordinated 1024-trial run to 4096 computes only [1024, 4096); -ci-target
+// keeps doubling the trial count until the 95% CI half-width of the
+// stopping metric falls below the target, each round extending the last
+// through the same cache. Every sub-job is content-addressed on the worker
+// fleet — its spec hash is the job ID and its range-extended cache key the
+// on-disk record — so retried or duplicated ranges are deduplicated, not
+// recomputed, and a resumed or reused result is byte-identical to an
+// uninterrupted cold one.
 package main
 
 import (
@@ -92,6 +97,12 @@ func realMain(args []string, out, errOut io.Writer) error {
 		"registry re-poll period with -discover (0 = default)")
 	resume := fs.Bool("resume", false,
 		"probe the fleet's range-keyed caches for a crashed coordinator's finished sub-ranges and run only the gaps")
+	reuse := fs.Bool("reuse", true,
+		"extend cached ranges banked under other trial counts (prefix reuse); -reuse=false forces a cold run")
+	ciTarget := fs.Float64("ci-target", 0,
+		"auto-trials mode: double the trial count until the 95% CI half-width of the stopping metric is at most this (scenario jobs; overrides nothing when 0)")
+	ciMetric := fs.String("ci-metric", "",
+		"stopping metric for -ci-target (default: the report's headline metric)")
 	ranges := fs.Int("ranges", 0, "trial sub-ranges per job (0 = elastic chunked scheduling with work stealing)")
 	stall := fs.Duration("stall-timeout", 0,
 		"event-stream silence before a range is hedged onto another worker (0 = default)")
@@ -119,6 +130,17 @@ func realMain(args []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *ciTarget > 0 {
+		if *specFile != "" {
+			return fmt.Errorf("-ci-target cannot be combined with a spec file; put auto_trials in the spec instead")
+		}
+		for i := range specs {
+			specs[i].AutoTrials = &spec.AutoTrials{CITarget: *ciTarget, Metric: *ciMetric}
+			if err := specs[i].Validate(); err != nil {
+				return err
+			}
+		}
+	}
 
 	// One tracer spans the whole invocation: each job's coordinator spans
 	// (and the worker subtrees grafted under them) accumulate into one
@@ -138,6 +160,7 @@ func realMain(args []string, out, errOut io.Writer) error {
 			Discover:         *discover,
 			DiscoverInterval: *discoverEvery,
 			Resume:           *resume,
+			Reuse:            *reuse,
 			StallTimeout:     *stall,
 			Warnings:         errOut,
 		}
@@ -148,7 +171,9 @@ func realMain(args []string, out, errOut io.Writer) error {
 			opts.OnScoreboard = sb.Update
 		}
 		start := time.Now()
-		val, st, err := coord.Execute(ctx, sp, opts)
+		// ExecuteAuto delegates to Execute for fixed-count specs, so one call
+		// covers both modes.
+		val, st, err := coord.ExecuteAuto(ctx, sp, opts)
 		sb.Final()
 		if err != nil {
 			return err
@@ -179,6 +204,9 @@ func realMain(args []string, out, errOut io.Writer) error {
 		}
 		if st.ResumedRanges > 0 {
 			extra += fmt.Sprintf(", resumed %d trials in %d ranges", st.ResumedTrials, st.ResumedRanges)
+		}
+		if st.ReusedRanges > 0 {
+			extra += fmt.Sprintf(", reused %d trials in %d ranges", st.ReusedTrials, st.ReusedRanges)
 		}
 		fmt.Fprintf(out, "  (distributed: %d ranges over %d workers, %d retries (%d hedged, %d dedup losses)%s, %v)\n\n",
 			st.Ranges, st.Workers, st.Retries, st.Hedges, st.DedupLosses, extra,

@@ -163,3 +163,93 @@ func TestBadInvocations(t *testing.T) {
 		}
 	}
 }
+
+// TestReuseExtensionThroughLocc is the CLI acceptance path for prefix
+// reuse: a 1024-trial scenario coordinated onto a worker, then the same
+// spec at 4096 trials against the same worker cache, must reuse the full
+// 1024 cached trials (reported in the summary footer) and emit aggregates
+// identical to a cold local 4096-trial run.
+func TestReuseExtensionThroughLocc(t *testing.T) {
+	srv, err := locsrv.New(run.Options{CacheDir: filepath.Join(t.TempDir(), "cache")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { srv.Close(); hs.Close() })
+
+	gridArgs := func(trials string, extra ...string) []string {
+		return append([]string{"-workers", hs.URL, "-kind", "scenario", "-id", "multilat-grid",
+			"-param", "rows=3", "-param", "cols=4", "-seed", "1", "-trials", trials, "-progress=false"}, extra...)
+	}
+	if err := realMain(gridArgs("1024"), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if err := realMain(gridArgs("4096"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "reused 1024 trials") {
+		t.Errorf("summary does not report the 1024 reused trials:\n%s%s", out.String(), errOut.String())
+	}
+
+	out.Reset()
+	if err := realMain(gridArgs("4096", "-json"), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var reports []*engine.Report
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+
+	sess, err := run.NewSession(run.Options{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _, err := run.ExecuteSpec(sess, spec.JobSpec{Kind: spec.KindScenario, ID: "multilat-grid",
+		Seed: 1, Trials: 4096, Params: params.Map{"rows": params.Num(3), "cols": params.Num(4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := *reports[0], *val.Report
+	got.ClearExecutionMeta()
+	want.ClearExecutionMeta()
+	gj, _ := json.Marshal(&got)
+	wj, _ := json.Marshal(&want)
+	if string(gj) != string(wj) {
+		t.Errorf("extended distributed aggregates diverged from cold local run\n got %s\nwant %s", gj, wj)
+	}
+}
+
+// TestCITargetThroughLocc: -ci-target drives the distributed auto-trials
+// ladder; a generous target converges on the scenario's default count.
+func TestCITargetThroughLocc(t *testing.T) {
+	workers := twoWorkers(t)
+	var buf bytes.Buffer
+	err := realMain([]string{"-workers", workers, "-kind", "scenario", "-id", "multilat-town",
+		"-seed", "2", "-ci-target", "1e9", "-json", "-progress=false"}, &buf, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*engine.Report
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, buf.String())
+	}
+	if len(reports) != 1 || reports[0].Trials == 0 {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+
+	// -ci-target is a spec-construction shorthand and cannot restate a spec
+	// file's contents.
+	specFile := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(specFile, []byte(`{"kind":"scenario","id":"multilat-town"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := realMain([]string{"-workers", workers, "-spec", specFile, "-ci-target", "0.5"},
+		io.Discard, io.Discard); err == nil {
+		t.Error("-ci-target with a spec file accepted")
+	}
+}

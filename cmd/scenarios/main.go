@@ -84,6 +84,10 @@ func run(args []string, out io.Writer) error {
 	discover := fs.String("discover", "",
 		"fleet registry base URL to discover locd workers from (distributed mode, like -workers; mid-run joiners participate)")
 	ranges := fs.Int("ranges", 0, "trial sub-ranges per distributed scenario (0 = elastic chunked scheduling with stealing)")
+	ciTarget := fs.Float64("ci-target", 0,
+		"auto-trials mode: double each scenario's trial count until the 95% CI half-width of the stopping metric is at most this (0 = fixed trial counts)")
+	ciMetric := fs.String("ci-metric", "",
+		"stopping metric for -ci-target (default: each report's headline metric)")
 	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
 	progress := fs.Bool("progress", true, "stream per-scenario trial progress to stderr")
 	traceFile := fs.String("trace", "",
@@ -123,6 +127,17 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *ciTarget > 0 {
+		if *specFile != "" || *sweepFile != "" {
+			return fmt.Errorf("-ci-target cannot be combined with a spec or sweep file; put auto_trials in the spec instead")
+		}
+		for i := range specs {
+			specs[i].AutoTrials = &spec.AutoTrials{CITarget: *ciTarget, Metric: *ciMetric}
+			if err := specs[i].Validate(); err != nil {
+				return err
+			}
+		}
+	}
 	if *workers != "" || *discover != "" {
 		if err := runDistributed(ctx, out, specs, *workers, *discover, *ranges, *asJSON, *progress); err != nil {
 			return err
@@ -132,11 +147,20 @@ func run(args []string, out io.Writer) error {
 	if *ranges != 0 {
 		return fmt.Errorf("-ranges needs -workers or -discover")
 	}
-	jobs, err := spec.ResolveAll(specs)
+	sess, err := enginerun.NewSession(opts)
 	if err != nil {
 		return err
 	}
-	sess, err := enginerun.NewSession(opts)
+	if hasAuto(specs) {
+		// Auto specs never resolve as single jobs, so the suite scheduler
+		// cannot take them; run the whole selection sequentially in order —
+		// round sequences are interactive-length anyway.
+		if err := runSequential(ctx, out, sess, specs, *asJSON); err != nil {
+			return err
+		}
+		return writeTrace(tracer, *traceFile)
+	}
+	jobs, err := spec.ResolveAll(specs)
 	if err != nil {
 		return err
 	}
@@ -152,6 +176,7 @@ func run(args []string, out io.Writer) error {
 			}
 			return
 		}
+		reportReuse(o.Spec.ID, o.Info)
 		reports = append(reports, o.Result.Report)
 		if !*asJSON {
 			printReport(out, o.Result.Report, o.Info.Cached)
@@ -164,6 +189,52 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	return nil
+}
+
+// hasAuto reports whether any spec drives an auto-trials round sequence.
+func hasAuto(specs []spec.JobSpec) bool {
+	for _, sp := range specs {
+		if sp.AutoTrials != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// reportReuse notes planner reuse on stderr — stderr so stdout's report
+// bytes stay identical between a cold run and one extended from cache.
+func reportReuse(id string, info enginerun.Info) {
+	if info.ReusedTrials > 0 {
+		fmt.Fprintf(os.Stderr, "scenarios: %s: reused %d of %d trials from cache\n",
+			id, info.ReusedTrials, info.Trials)
+	}
+}
+
+// runSequential executes specs one at a time through the session — the path
+// for selections containing auto-trials specs, which the batch resolver
+// rejects (each is a round sequence, not one job).
+func runSequential(ctx context.Context, out io.Writer, sess *enginerun.Session, specs []spec.JobSpec, asJSON bool) error {
+	var reports []*engine.Report
+	for _, sp := range specs {
+		val, info, err := enginerun.ExecuteSpecContext(ctx, sess, sp)
+		if err != nil {
+			return err
+		}
+		if val.Report == nil {
+			return fmt.Errorf("%s: no report produced", sp.ID)
+		}
+		reportReuse(sp.ID, info)
+		reports = append(reports, val.Report)
+		if !asJSON {
+			printReport(out, val.Report, info.Cached)
+		}
+	}
+	if asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(reports)
@@ -191,14 +262,16 @@ func runDistributed(ctx context.Context, out io.Writer, specs []spec.JobSpec, wo
 	urls := coord.ParseWorkers(workers)
 	var reports []*engine.Report
 	for _, sp := range specs {
-		opts := coord.Options{Workers: urls, Ranges: ranges, Discover: discover, Warnings: os.Stderr}
+		// Reuse is on by default distributed, matching locc: extending a
+		// previously coordinated run computes only the new trials.
+		opts := coord.Options{Workers: urls, Ranges: ranges, Discover: discover, Reuse: true, Warnings: os.Stderr}
 		var sb *coord.Scoreboard
 		if progress && !asJSON {
 			sb = coord.NewScoreboard(os.Stderr, sp.ID)
 			opts.OnProgress = sb.Progress
 			opts.OnScoreboard = sb.Update
 		}
-		val, _, err := coord.Execute(ctx, sp, opts)
+		val, _, err := coord.ExecuteAuto(ctx, sp, opts)
 		sb.Final()
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.ID, err)

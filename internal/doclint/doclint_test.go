@@ -1,0 +1,202 @@
+// Package doclint enforces the repository's documentation contract on the
+// packages that form the public seam between the engine and its front-ends:
+// every exported symbol carries a doc comment, and function/type comments
+// open with the symbol's name, so godoc reads as a reference manual. CI
+// additionally runs staticcheck's ST1020/ST1021/ST1022; this in-repo test
+// keeps the same contract enforceable with nothing but the go toolchain.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// packages under the documentation contract, relative to the repo root.
+var packages = []string{
+	"internal/engine",
+	"internal/engine/cache",
+	"internal/engine/coord",
+	"internal/engine/spec",
+}
+
+// TestExportedSymbolsAreDocumented parses each contract package (tests
+// excluded, as staticcheck excludes them) and reports every exported
+// function, method, type, constant, and variable that lacks a doc comment —
+// and every function or type whose comment does not open with its name.
+func TestExportedSymbolsAreDocumented(t *testing.T) {
+	root := repoRoot(t)
+	for _, pkg := range packages {
+		pkg := pkg
+		t.Run(strings.ReplaceAll(pkg, "/", "_"), func(t *testing.T) {
+			for _, problem := range lintPackage(t, filepath.Join(root, pkg)) {
+				t.Error(problem)
+			}
+		})
+	}
+}
+
+// repoRoot walks up from the test's working directory (the package dir) to
+// the directory holding go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := filepath.Glob(filepath.Join(dir, "go.mod")); err == nil {
+			if m, _ := filepath.Glob(filepath.Join(dir, "go.mod")); len(m) == 1 {
+				return dir
+			}
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// lintPackage returns one message per documentation violation in dir.
+func lintPackage(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	var problems []string
+	at := func(n ast.Node) string {
+		p := fset.Position(n.Pos())
+		return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					problems = append(problems, lintFunc(d, at(d))...)
+				case *ast.GenDecl:
+					problems = append(problems, lintGen(d, at)...)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// lintFunc checks one function or method declaration. Methods on unexported
+// receivers are unreachable outside the package and exempt, matching
+// staticcheck.
+func lintFunc(d *ast.FuncDecl, pos string) []string {
+	if !d.Name.IsExported() {
+		return nil
+	}
+	if d.Recv != nil && !receiverExported(d.Recv) {
+		return nil
+	}
+	if d.Doc == nil {
+		return []string{fmt.Sprintf("%s: exported %s %s has no doc comment", pos, funcKind(d), d.Name.Name)}
+	}
+	if !strings.HasPrefix(firstWords(d.Doc), d.Name.Name+" ") &&
+		!strings.HasPrefix(firstWords(d.Doc), d.Name.Name+"\n") {
+		return []string{fmt.Sprintf("%s: doc comment of %s %s should start with %q",
+			pos, funcKind(d), d.Name.Name, d.Name.Name)}
+	}
+	return nil
+}
+
+// lintGen checks a type/const/var declaration group: each exported name
+// needs a comment on either its own spec or the enclosing group, and type
+// comments must open with the type's name (a leading article is allowed,
+// as in godoc convention).
+func lintGen(d *ast.GenDecl, at func(ast.Node) string) []string {
+	var problems []string
+	for _, sp := range d.Specs {
+		switch s := sp.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			doc := s.Doc
+			if doc == nil {
+				doc = d.Doc
+			}
+			if doc == nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: exported type %s has no doc comment", at(s), s.Name.Name))
+				continue
+			}
+			if !typeDocOK(firstWords(doc), s.Name.Name) {
+				problems = append(problems,
+					fmt.Sprintf("%s: doc comment of type %s should start with %q", at(s), s.Name.Name, s.Name.Name))
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || d.Doc != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					problems = append(problems,
+						fmt.Sprintf("%s: exported %s %s has no doc comment", at(s), d.Tok, name.Name))
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverExported reports whether a method's receiver names an exported
+// type.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.IndexListExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// funcKind labels a declaration "function" or "method" for messages.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// firstWords flattens a doc comment's text for the starts-with check.
+func firstWords(doc *ast.CommentGroup) string {
+	return strings.TrimSpace(doc.Text())
+}
+
+// typeDocOK allows "Name ..." and the godoc article forms "A Name ..." /
+// "An Name ..." / "The Name ...".
+func typeDocOK(text, name string) bool {
+	for _, prefix := range []string{"", "A ", "An ", "The "} {
+		if strings.HasPrefix(text, prefix+name+" ") || strings.HasPrefix(text, prefix+name+"\n") || text == prefix+name {
+			return true
+		}
+	}
+	return false
+}

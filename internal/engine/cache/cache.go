@@ -347,26 +347,39 @@ func (c *Cache) put(k Key, v any) error {
 }
 
 // RangeEntry locates one cached partial execution of a job: the trial
-// sub-range [Lo, Hi) it covers and the content address it is stored under
+// sub-range [Lo, Hi) it covers, the full trial count the partial was
+// executed under (entries banked by runs at other trial counts surface
+// too; see RangeEntries), and the content address it is stored under
 // (fetchable via EntryByHash, locally or over locd's /v1/cache endpoint).
 type RangeEntry struct {
-	Lo   int    `json:"lo"`
-	Hi   int    `json:"hi"`
-	Hash string `json:"hash"`
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Trials is the full trial count stamped on the entry's key — the N of
+	// the run that banked it, not necessarily the N of the job probing now.
+	// A consumer reusing a cross-N entry must revalidate and restamp its
+	// geometry (engine.AdaptPartial) before merging it.
+	Trials int    `json:"trials"`
+	Hash   string `json:"hash"`
 }
 
 // RangeEntries scans the cache for partial-execution entries belonging to
 // the job identified by base: a key with RangeLo/RangeHi zero whose other
-// fields — including Retained — are what the job's partials carry. This is
-// the crash-resume probe: a restarted coordinator asks each worker for the
-// ranges its dead predecessor already banked, then re-executes only the
-// gaps. Entries are returned sorted by Lo ascending, then wider-first, the
-// order a greedy cover wants. The scan reads every entry's self-describing
-// key — the content address is one-way, so enumeration is the only way to
-// discover which ranges exist — which is fine at the cache sizes GC
-// maintains.
+// fields — including Retained — are what the job's partials carry. The
+// base key's Trials is ignored for matching: a partial banked by a
+// 1024-trial run of the same (scenario, seed, shard size, fingerprint,
+// params) is a reusable prefix of a 4096-trial request, so entries of
+// every trial count surface, each carrying its own Trials for the caller
+// to classify (same-N crash-resume versus cross-N prefix reuse). This is
+// the probe behind both the crash-resume coordinator and the prefix-reuse
+// planner: enumerate what survives, greedily cover the trial space, and
+// re-execute only the gaps. Entries are returned sorted by Lo ascending,
+// then wider-first, the order a greedy cover wants. The scan reads every
+// entry's self-describing key — the content address is one-way, so
+// enumeration is the only way to discover which ranges exist — which is
+// fine at the cache sizes GC maintains.
 func (c *Cache) RangeEntries(base Key) ([]RangeEntry, error) {
 	base.RangeLo, base.RangeHi = 0, 0
+	base.Trials = 0
 	files, err := os.ReadDir(c.dir)
 	if err != nil {
 		return nil, fmt.Errorf("cache: range scan: %w", err)
@@ -391,21 +404,30 @@ func (c *Cache) RangeEntries(base Key) ([]RangeEntry, error) {
 		if err := json.Unmarshal(b, &e); err != nil {
 			continue // corrupt entry; Get would treat it as a miss too
 		}
-		if e.Key.RangeHi <= e.Key.RangeLo || e.Key.Hash() != hash {
+		if e.Key.RangeHi <= e.Key.RangeLo || e.Key.RangeHi > e.Key.Trials || e.Key.Hash() != hash {
 			continue
 		}
 		k := e.Key
 		k.RangeLo, k.RangeHi = 0, 0
+		k.Trials = 0
 		if k != base {
 			continue
 		}
-		out = append(out, RangeEntry{Lo: e.Key.RangeLo, Hi: e.Key.RangeHi, Hash: hash})
+		out = append(out, RangeEntry{Lo: e.Key.RangeLo, Hi: e.Key.RangeHi, Trials: e.Key.Trials, Hash: hash})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Lo != out[j].Lo {
 			return out[i].Lo < out[j].Lo
 		}
-		return out[i].Hi > out[j].Hi
+		if out[i].Hi != out[j].Hi {
+			return out[i].Hi > out[j].Hi
+		}
+		// Same interval at two trial counts: a fixed order keeps probe
+		// responses deterministic; the consumer breaks the tie by policy.
+		if out[i].Trials != out[j].Trials {
+			return out[i].Trials < out[j].Trials
+		}
+		return out[i].Hash < out[j].Hash
 	})
 	return out, nil
 }

@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// ciZ is the two-sided 95% normal critical value used for confidence
+// half-widths. The auto-trials loop doubles the trial count per round, so
+// the distinction between z and Student's t vanishes after the first
+// handful of trials; a fixed z keeps the stopping rule a pure function of
+// the report.
+const ciZ = 1.96
+
+// CIHalfWidth returns the 95% confidence-interval half-width of a metric's
+// mean in rep: z·s/√n over the metric's streamed count and standard
+// deviation. metric selects by name; "" selects the report's headline
+// (first) metric. A metric observed fewer than two times has no estimable
+// spread, so its half-width is +Inf — a CI-driven stopping rule then always
+// continues. Unknown metric names are an error rather than +Inf, so a typo
+// in a spec fails the first round instead of silently running to the trial
+// cap.
+func CIHalfWidth(rep *Report, metric string) (float64, error) {
+	if rep == nil || len(rep.Metrics) == 0 {
+		return 0, fmt.Errorf("engine: ci: report has no metrics")
+	}
+	m := rep.Metrics[0]
+	if metric != "" {
+		var ok bool
+		if m, ok = rep.Metric(metric); !ok {
+			return 0, fmt.Errorf("engine: ci: %s: no metric %q", rep.Scenario, metric)
+		}
+	}
+	if m.Count < 2 {
+		return math.Inf(1), nil
+	}
+	return ciZ * m.StdDev / math.Sqrt(float64(m.Count)), nil
+}

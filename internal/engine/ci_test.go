@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCIHalfWidth: the stopping statistic is the textbook 1.96·σ/√n on the
+// named metric (headline metric when unnamed), +Inf when a CI is undefined,
+// and a hard error — not a silent never-converge — on a metric the report
+// does not carry.
+func TestCIHalfWidth(t *testing.T) {
+	rep := mustRun(t, Config{Seed: 1, Trials: 50, ShardSize: 8}, noisyScenario())
+
+	m := rep.Metrics[0]
+	want := 1.96 * m.StdDev / math.Sqrt(float64(m.Count))
+	if hw, err := CIHalfWidth(rep, ""); err != nil || math.Abs(hw-want) > 1e-12 {
+		t.Errorf("headline: hw=%v err=%v, want %v", hw, err, want)
+	}
+	if hw, err := CIHalfWidth(rep, m.Name); err != nil || math.Abs(hw-want) > 1e-12 {
+		t.Errorf("named headline: hw=%v err=%v, want %v", hw, err, want)
+	}
+
+	if _, err := CIHalfWidth(rep, "no-such-metric"); err == nil ||
+		!strings.Contains(err.Error(), "no metric") {
+		t.Errorf("unknown metric: err %v, want error", err)
+	}
+	if _, err := CIHalfWidth(&Report{}, ""); err == nil {
+		t.Error("empty report accepted")
+	}
+
+	// A single observation has no sample variance: the half-width is +Inf,
+	// which can never satisfy a finite target, so auto-trials keeps growing.
+	one := &Report{Metrics: []MetricSummary{{Name: "x", Count: 1, StdDev: 0}}}
+	if hw, err := CIHalfWidth(one, "x"); err != nil || !math.IsInf(hw, 1) {
+		t.Errorf("count=1: hw=%v err=%v, want +Inf", hw, err)
+	}
+}

@@ -59,9 +59,11 @@ import (
 // up as retries (worker failed) or hedges (worker stalled), and a hedge that
 // loses the completion race increments coord_dedup_losses_total — the cost
 // of the hedging policy, distinct from its benefit. Dynamic mode adds
-// steals (unsubmitted work moved to an idle worker — free by construction)
-// and resumed trials (recovered from a dead predecessor's range-keyed
-// cache entries instead of recomputed).
+// steals (unsubmitted work moved to an idle worker — free by construction),
+// resumed trials (this job's own prior ranges recovered from a dead
+// predecessor's range-keyed cache entries — Options.Resume), and reused
+// trials (a different trial count's surviving ranges adapted in by the
+// prefix-reuse planner — Options.Reuse).
 var (
 	obsRanges    = obs.Default().Counter("coord_ranges_total")
 	obsRetries   = obs.Default().Counter("coord_retries_total")
@@ -69,6 +71,7 @@ var (
 	obsDedupLoss = obs.Default().Counter("coord_dedup_losses_total")
 	obsSteals    = obs.Default().Counter("coord_steals_total")
 	obsResumed   = obs.Default().Counter("coord_resumed_trials_total")
+	obsReused    = obs.Default().Counter("coord_reused_trials_total")
 )
 
 // DefaultStallTimeout is how long a range may go without any event-stream
@@ -109,6 +112,15 @@ type Options struct {
 	// executes only the gaps — the coordinator crash-recovery path. The
 	// resumed result is byte-identical to an uninterrupted run.
 	Resume bool
+	// Reuse, in dynamic mode, additionally accepts workers' range-keyed
+	// entries banked under a *different* full trial count (the prefix-reuse
+	// planner's cross-N extension): a worker holding ranges of a cached
+	// 1024-trial run lets a 4096-trial job compute only [1024, 4096). Every
+	// adopted entry is geometry-checked (engine.AdaptPartial) before it
+	// joins the merge set, so the result stays byte-identical to a cold
+	// run. Distinct from Resume, which replays this job's own interrupted
+	// ranges; the CLIs default Reuse on and keep Resume opt-in.
+	Reuse bool
 	// Client is the HTTP client; nil means http.DefaultClient. Do not set
 	// a global Client.Timeout — event streams live as long as their jobs;
 	// stall detection is the liveness bound.
@@ -150,6 +162,12 @@ type WorkerScore struct {
 	// Steals counts the times this worker, idle, took unsubmitted work from
 	// another worker's assignment (dynamic mode only).
 	Steals int
+	// ResumedTrials counts trials recovered from this worker's cache by
+	// crash-resume (entries of this job's own trial count).
+	ResumedTrials int
+	// ReusedTrials counts trials adopted from this worker's cache by the
+	// prefix-reuse planner (entries banked under a different trial count).
+	ReusedTrials int
 	// TrialsPerSec is Trials divided by the worker's cumulative winning-
 	// attempt wall time; 0 until the worker wins a range.
 	TrialsPerSec float64
@@ -182,10 +200,18 @@ type Stats struct {
 	// the registry (dynamic mode with Discover set).
 	Joined int
 	Left   int
-	// ResumedTrials and ResumedRanges describe work recovered from the
-	// fleet's range-keyed caches instead of recomputed (Options.Resume).
+	// ResumedTrials and ResumedRanges describe this job's own prior work
+	// recovered from the fleet's range-keyed caches instead of recomputed
+	// (Options.Resume): entries banked under the job's exact trial count.
 	ResumedTrials int
 	ResumedRanges int
+	// ReusedTrials and ReusedRanges describe work the prefix-reuse planner
+	// adopted from a *different* trial count's surviving cache entries
+	// (Options.Reuse) — incremental extension rather than crash recovery.
+	// The two counters never overlap: each merged cache entry is counted as
+	// exactly one of resumed or reused.
+	ReusedTrials int
+	ReusedRanges int
 }
 
 // Execute runs one job across the worker fleet and returns its full result
@@ -325,6 +351,7 @@ type coordinator struct {
 	discover string
 	poll     time.Duration
 	resumeOn bool
+	reuseOn  bool
 	onProg   func(done, total int)
 	warn     io.Writer
 
@@ -361,6 +388,8 @@ type coordinator struct {
 	left          int
 	resumedTrials int
 	resumedRanges int
+	reusedTrials  int
+	reusedRanges  int
 	workersUsed   map[string]bool
 	scores        map[string]*workerTally
 
@@ -376,6 +405,8 @@ type workerTally struct {
 	retries int
 	hedges  int
 	steals  int
+	resumed int           // trials crash-resume recovered from this worker's cache
+	reused  int           // trials the prefix-reuse planner adopted from this worker's cache
 	busy    time.Duration // wall time of winning attempts
 }
 
@@ -438,6 +469,7 @@ func newCoordinator(job spec.Resolved, opts Options) (*coordinator, error) {
 		discover:    opts.Discover,
 		poll:        poll,
 		resumeOn:    opts.Resume,
+		reuseOn:     opts.Reuse,
 		onProg:      opts.OnProgress,
 		onScore:     opts.OnScoreboard,
 		warn:        warn,
@@ -489,6 +521,8 @@ func (c *coordinator) scoreboard() []WorkerScore {
 			out[i].Retries = t.retries
 			out[i].Hedges = t.hedges
 			out[i].Steals = t.steals
+			out[i].ResumedTrials = t.resumed
+			out[i].ReusedTrials = t.reused
 			if secs := t.busy.Seconds(); secs > 0 {
 				out[i].TrialsPerSec = float64(t.trials) / secs
 			}
@@ -523,6 +557,8 @@ func (c *coordinator) stats() Stats {
 		Left:          c.left,
 		ResumedTrials: c.resumedTrials,
 		ResumedRanges: c.resumedRanges,
+		ReusedTrials:  c.reusedTrials,
+		ReusedRanges:  c.reusedRanges,
 	}
 }
 

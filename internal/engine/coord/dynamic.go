@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"resilientloc/internal/engine"
 	"resilientloc/internal/engine/fleet"
 	"resilientloc/internal/engine/spec"
 )
@@ -200,12 +201,13 @@ func (c *coordinator) maybeDrainLocked() {
 	}
 }
 
-// runDynamic is dynamic mode's top level: optionally resume from the
-// fleet's caches, seed the pool with the uncovered gaps, run one drawing
-// loop per worker (plus the registry poller), and merge.
+// runDynamic is dynamic mode's top level: optionally recover work from the
+// fleet's caches (resume and/or reuse), seed the pool with the uncovered
+// gaps, run one drawing loop per worker (plus the registry poller), and
+// merge.
 func (c *coordinator) runDynamic(ctx context.Context) (*spec.Value, error) {
 	gaps := []spec.Range{{Lo: 0, Hi: c.job.Trials}}
-	if c.resumeOn {
+	if c.resumeOn || c.reuseOn {
 		full, g, err := c.probeResume(ctx)
 		if err != nil {
 			return nil, err
@@ -359,21 +361,31 @@ func (c *coordinator) syncFleet(urls []string) []string {
 	return added
 }
 
-// Wire shapes of the worker cache-probe API (the subset resume consumes).
+// Wire shapes of the worker cache-probe API (the subset resume and reuse
+// consume). A range entry's trials field is the full trial count stamped on
+// the entry's key — equal to the probe's trials for this job's own ranges,
+// different for cross-N entries the planner may adopt (0 from a worker old
+// enough not to report it, treated as same-N).
 type wireProbe struct {
 	Trials int    `json:"trials"`
 	Full   string `json:"full"`
 	Ranges []struct {
-		Lo   int    `json:"lo"`
-		Hi   int    `json:"hi"`
-		Hash string `json:"hash"`
+		Lo     int    `json:"lo"`
+		Hi     int    `json:"hi"`
+		Trials int    `json:"trials"`
+		Hash   string `json:"hash"`
 	} `json:"ranges"`
 }
 
-// probeResume asks every worker for the range-keyed cache entries a dead
-// predecessor's run banked for this job, chains a greedy exact-boundary
-// cover out of them, and returns the uncovered gaps — or, when some worker
-// holds the finished result, that full value directly.
+// probeResume asks every worker for the range-keyed cache entries its
+// result cache banked for this job's content address, chains a greedy
+// exact-boundary cover out of them, and returns the uncovered gaps — or,
+// when some worker holds the finished result, that full value directly.
+// Two kinds of entry qualify, gated independently: ranges of this job's own
+// trial count (crash-resume, Options.Resume) and ranges banked under a
+// different trial count (prefix reuse, Options.Reuse) — the latter pass
+// through engine.AdaptPartial, which re-checks their shard geometry under
+// the new count before they may join the merge set.
 func (c *coordinator) probeResume(ctx context.Context) (*spec.Value, []spec.Range, error) {
 	c.mu.Lock()
 	workers := append([]string(nil), c.workers...)
@@ -382,6 +394,7 @@ func (c *coordinator) probeResume(ctx context.Context) (*spec.Value, []spec.Rang
 	type candidate struct {
 		worker string
 		rg     spec.Range
+		trials int // the entry's stamped full trial count
 		hash   string
 	}
 	var cands []candidate
@@ -391,7 +404,7 @@ func (c *coordinator) probeResume(ctx context.Context) (*spec.Value, []spec.Rang
 	for _, w := range workers {
 		probe, err := c.probeWorker(ctx, w, body)
 		if err != nil {
-			warnTo(c.warn, "coord: %s: resume probe of %s failed: %v\n", c.job.Spec.ID, w, err)
+			warnTo(c.warn, "coord: %s: cache probe of %s failed: %v\n", c.job.Spec.ID, w, err)
 			continue
 		}
 		if probe.Trials != c.job.Trials {
@@ -401,14 +414,27 @@ func (c *coordinator) probeResume(ctx context.Context) (*spec.Value, []spec.Rang
 				c.job.Spec.ID, w, probe.Trials, c.job.Trials)
 			continue
 		}
-		if probe.Full != "" {
+		if probe.Full != "" && c.resumeOn {
 			fulls = append(fulls, fullEntry{w, probe.Full})
 		}
 		for _, re := range probe.Ranges {
 			if re.Lo < 0 || re.Hi > c.job.Trials || re.Hi <= re.Lo {
 				continue
 			}
-			cands = append(cands, candidate{w, spec.Range{Lo: re.Lo, Hi: re.Hi}, re.Hash})
+			// An entry without a stamped count predates cross-N enumeration
+			// and can only be this job's own (the probe matched on content
+			// address including trials back then).
+			entryTrials := re.Trials
+			if entryTrials == 0 {
+				entryTrials = c.job.Trials
+			}
+			if entryTrials == c.job.Trials && !c.resumeOn {
+				continue // this job's own prior ranges are Resume's to adopt
+			}
+			if entryTrials != c.job.Trials && !c.reuseOn {
+				continue // cross-N extension is Reuse's
+			}
+			cands = append(cands, candidate{w, spec.Range{Lo: re.Lo, Hi: re.Hi}, entryTrials, re.Hash})
 		}
 	}
 
@@ -422,6 +448,7 @@ func (c *coordinator) probeResume(ctx context.Context) (*spec.Value, []spec.Rang
 		c.resumedTrials = c.job.Trials
 		c.resumedRanges = 1
 		c.workersUsed[fe.worker] = true
+		c.tallyLocked(fe.worker).resumed += c.job.Trials
 		c.mu.Unlock()
 		obsResumed.Add(int64(c.job.Trials))
 		warnTo(c.warn, "coord: %s: resumed the complete result from %s's cache\n", c.job.Spec.ID, fe.worker)
@@ -429,16 +456,21 @@ func (c *coordinator) probeResume(ctx context.Context) (*spec.Value, []spec.Rang
 	}
 
 	// Greedy cover: partials cannot be trimmed, so only an entry starting
-	// exactly at the cursor extends the chain; prefer the longest. An entry
-	// that fails to fetch just falls out of the chain — siblings or a fresh
-	// gap cover its interval.
+	// exactly at the cursor extends the chain; prefer the longest, and on a
+	// width tie an entry of this job's own trial count (which needs no
+	// adaptation). An entry that fails to fetch or adapt just falls out of
+	// the chain — siblings or a fresh gap cover its interval.
 	used := make([]bool, len(cands))
 	var gaps []spec.Range
-	cursor, resumed, nRanges := 0, 0, 0
+	cursor, resumed, nResumed, reused, nReused := 0, 0, 0, 0, 0
 	for cursor < c.job.Trials {
 		best := -1
 		for j, cd := range cands {
-			if !used[j] && cd.rg.Lo == cursor && (best < 0 || cd.rg.Hi > cands[best].rg.Hi) {
+			if used[j] || cd.rg.Lo != cursor {
+				continue
+			}
+			if best < 0 || cd.rg.Hi > cands[best].rg.Hi ||
+				(cd.rg.Hi == cands[best].rg.Hi && cd.trials == c.job.Trials && cands[best].trials != c.job.Trials) {
 				best = j
 			}
 		}
@@ -459,22 +491,47 @@ func (c *coordinator) probeResume(ctx context.Context) (*spec.Value, []spec.Rang
 		if err != nil || val == nil || val.Partial == nil {
 			continue
 		}
+		if cd.trials != c.job.Trials {
+			if err := engine.AdaptPartial(val.Partial, c.job.Trials); err != nil {
+				warnTo(c.warn, "coord: %s: skipping %s's cached range [%d, %d): %v\n",
+					c.job.Spec.ID, cd.worker, cd.rg.Lo, cd.rg.Hi, err)
+				continue
+			}
+		}
+		n := cd.rg.Hi - cd.rg.Lo
 		c.mu.Lock()
 		i := c.newSlotLocked(cd.rg)
 		c.parts[i] = val
-		c.rangeDone[i] = cd.rg.Hi - cd.rg.Lo
-		c.resumedTrials += cd.rg.Hi - cd.rg.Lo
-		c.resumedRanges++
+		c.rangeDone[i] = n
+		if cd.trials == c.job.Trials {
+			c.resumedTrials += n
+			c.resumedRanges++
+			c.tallyLocked(cd.worker).resumed += n
+		} else {
+			c.reusedTrials += n
+			c.reusedRanges++
+			c.tallyLocked(cd.worker).reused += n
+		}
 		c.workersUsed[cd.worker] = true
 		c.mu.Unlock()
-		resumed += cd.rg.Hi - cd.rg.Lo
-		nRanges++
-		obsResumed.Add(int64(cd.rg.Hi - cd.rg.Lo))
+		if cd.trials == c.job.Trials {
+			resumed += n
+			nResumed++
+			obsResumed.Add(int64(n))
+		} else {
+			reused += n
+			nReused++
+			obsReused.Add(int64(n))
+		}
 		cursor = cd.rg.Hi
 	}
 	if resumed > 0 {
 		warnTo(c.warn, "coord: %s: resumed %d of %d trials in %d ranges from fleet caches\n",
-			c.job.Spec.ID, resumed, c.job.Trials, nRanges)
+			c.job.Spec.ID, resumed, c.job.Trials, nResumed)
+	}
+	if reused > 0 {
+		warnTo(c.warn, "coord: %s: reused %d of %d trials in %d cross-count ranges from fleet caches\n",
+			c.job.Spec.ID, reused, c.job.Trials, nReused)
 	}
 	return nil, gaps, nil
 }

@@ -103,11 +103,13 @@ func (s *Scoreboard) Final() {
 		return
 	}
 	for _, ws := range s.scores {
-		if ws.Ranges == 0 && ws.Retries == 0 && ws.Hedges == 0 && ws.Steals == 0 {
+		if ws.Ranges == 0 && ws.Retries == 0 && ws.Hedges == 0 && ws.Steals == 0 &&
+			ws.ResumedTrials == 0 && ws.ReusedTrials == 0 {
 			continue
 		}
-		fmt.Fprintf(s.w, "%s: worker %s: ranges=%d trials=%d trials/s=%.1f retries=%d hedges=%d steals=%d\n",
-			s.id, ws.Worker, ws.Ranges, ws.Trials, ws.TrialsPerSec, ws.Retries, ws.Hedges, ws.Steals)
+		fmt.Fprintf(s.w, "%s: worker %s: ranges=%d trials=%d trials/s=%.1f retries=%d hedges=%d steals=%d resumed=%d reused=%d\n",
+			s.id, ws.Worker, ws.Ranges, ws.Trials, ws.TrialsPerSec, ws.Retries, ws.Hedges, ws.Steals,
+			ws.ResumedTrials, ws.ReusedTrials)
 	}
 }
 
@@ -121,11 +123,13 @@ func (s *Scoreboard) redrawLocked() {
 	fmt.Fprintf(&b, "%-28s %4d/%d trials\n", s.id, s.done, s.total)
 	lines := 1
 	if len(s.scores) > 0 {
-		fmt.Fprintf(&b, "  %-36s %6s %9s %8s %7s %7s\n", "worker", "ranges", "trials/s", "retries", "hedges", "steals")
+		fmt.Fprintf(&b, "  %-36s %6s %9s %8s %7s %7s %8s %7s\n",
+			"worker", "ranges", "trials/s", "retries", "hedges", "steals", "resumed", "reused")
 		lines++
 		for _, ws := range s.scores {
-			fmt.Fprintf(&b, "  %-36s %6d %9.1f %8d %7d %7d\n",
-				ws.Worker, ws.Ranges, ws.TrialsPerSec, ws.Retries, ws.Hedges, ws.Steals)
+			fmt.Fprintf(&b, "  %-36s %6d %9.1f %8d %7d %7d %8d %7d\n",
+				ws.Worker, ws.Ranges, ws.TrialsPerSec, ws.Retries, ws.Hedges, ws.Steals,
+				ws.ResumedTrials, ws.ReusedTrials)
 			lines++
 		}
 	}

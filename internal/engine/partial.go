@@ -437,6 +437,50 @@ func replayPieces(scenario string, si, lo, hi int, pieces []ShardPiece, keep boo
 	return agg, nil
 }
 
+// AdaptPartial revalidates a partial banked under a different full trial
+// count and restamps it for a job of newTrials — the bridge that lets a
+// cached 1024-trial prefix merge into a 4096-trial request. It is valid
+// because per-trial computation depends only on (scenario, seed, trial
+// index) and shard membership only on (trial index, shard size): trial 37
+// of a 1024-trial run and trial 37 of a 4096-trial run are the same trial
+// in the same shard. The one geometry hazard is the final shard of the old
+// run: a piece marked Complete because the old N clipped its shard short
+// no longer spans that shard under a larger N, and its Welford state
+// cannot be extended sample-by-sample — such a partial is rejected rather
+// than restamped (raw boundary pieces replay per trial, so they always
+// adapt). A partial whose range exceeds newTrials is rejected too, which
+// also makes shrink-reuse (banked under a larger N) safe whenever it
+// passes. On success p.Trials is updated in place; on error p is
+// unmodified.
+func AdaptPartial(p *Partial, newTrials int) error {
+	if p == nil {
+		return fmt.Errorf("engine: adapt: nil partial")
+	}
+	if newTrials <= 0 || p.ShardSize <= 0 {
+		return fmt.Errorf("engine: adapt: %s: invalid geometry (%d trials, shard size %d)",
+			p.Scenario, newTrials, p.ShardSize)
+	}
+	if p.Trials == newTrials {
+		return nil
+	}
+	if p.Hi > newTrials {
+		return fmt.Errorf("engine: adapt: %s: range [%d, %d) exceeds %d trials",
+			p.Scenario, p.Lo, p.Hi, newTrials)
+	}
+	for _, piece := range p.Pieces {
+		if !piece.Complete {
+			continue
+		}
+		sLo, sHi := shardBounds(piece.Shard, p.ShardSize, newTrials)
+		if piece.Lo != sLo || piece.Hi != sHi {
+			return fmt.Errorf("engine: adapt: %s: complete piece [%d, %d) no longer spans shard %d [%d, %d) under %d trials",
+				p.Scenario, piece.Lo, piece.Hi, piece.Shard, sLo, sHi, newTrials)
+		}
+	}
+	p.Trials = newTrials
+	return nil
+}
+
 // MergePartials reassembles partial runs whose ranges tile [0, trials) into
 // the full run's Report. The result is byte-identical to running the same
 // (scenario, seed, trials, shard size) in one process: complete shards

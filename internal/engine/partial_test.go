@@ -255,3 +255,98 @@ func TestRunCampaignPartialAppliesOverrides(t *testing.T) {
 		t.Fatal("distributed campaign cycle diverged from RunCampaign")
 	}
 }
+
+// TestAdaptPartial: restamping a partial's full trial count is valid exactly
+// when every complete piece still spans its shard under the new count — the
+// geometry check behind the prefix-reuse planner's cross-count extension.
+func TestAdaptPartial(t *testing.T) {
+	s := noisyScenario()
+	part := func(trials, shardSize, lo, hi int) *Partial {
+		runner, err := NewRunner(Config{Seed: 1, Trials: trials, ShardSize: shardSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := runner.RunPartial(s, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// A shard-aligned prefix grows cleanly: every complete shard keeps its
+	// bounds, only the stamp changes.
+	p := part(16, 4, 0, 8)
+	if err := AdaptPartial(p, 32); err != nil {
+		t.Fatalf("aligned grow: %v", err)
+	}
+	if p.Trials != 32 {
+		t.Fatalf("aligned grow left Trials=%d, want 32", p.Trials)
+	}
+
+	// Same count is a no-op.
+	p = part(16, 4, 0, 8)
+	if err := AdaptPartial(p, 16); err != nil || p.Trials != 16 {
+		t.Fatalf("same-count adapt: err=%v Trials=%d", err, p.Trials)
+	}
+
+	// The ragged tail shard of a 10-trial run ([8, 10) of shard 2) was
+	// complete only because 10 trials clipped the shard; under 32 trials
+	// shard 2 spans [8, 12), so the piece no longer carries the shard's full
+	// aggregate and the adapt must refuse.
+	p = part(10, 4, 0, 10)
+	if err := AdaptPartial(p, 32); err == nil || !strings.Contains(err.Error(), "no longer spans") {
+		t.Fatalf("clipped tail shard: err %v, want refusal", err)
+	}
+
+	// Shrinking below the partial's own range is out of bounds.
+	p = part(16, 4, 8, 16)
+	if err := AdaptPartial(p, 12); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("shrink below Hi: err %v, want rejection", err)
+	}
+
+	// Degenerate inputs.
+	if err := AdaptPartial(nil, 8); err == nil {
+		t.Error("nil partial accepted")
+	}
+	p = part(16, 4, 0, 8)
+	if err := AdaptPartial(p, 0); err == nil {
+		t.Error("zero trial count accepted")
+	}
+}
+
+// TestAdaptPartialMergesIntoLargerRun: the end-to-end property the planner
+// relies on — a prefix partial banked under a small trial count, adapted to
+// a larger one, merges with the freshly computed remainder into exactly the
+// larger run's report.
+func TestAdaptPartialMergesIntoLargerRun(t *testing.T) {
+	s := noisyScenario()
+	small, err := NewRunner(Config{Seed: 7, Trials: 8, ShardSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := small.RunPartial(s, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix = jsonRoundTrip(t, prefix)
+	if err := AdaptPartial(prefix, 20); err != nil {
+		t.Fatal(err)
+	}
+
+	big, err := NewRunner(Config{Seed: 7, Trials: 20, ShardSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := big.RunPartial(s, 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergePartials([]*Partial{prefix, jsonRoundTrip(t, rest)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := mustRun(t, Config{Seed: 7, Trials: 20, ShardSize: 4}, s)
+	if !sameReport(merged, full) {
+		t.Fatal("adapted prefix + remainder diverged from the full 20-trial run")
+	}
+}

@@ -1,0 +1,130 @@
+package run_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"resilientloc/internal/engine/params"
+	"resilientloc/internal/engine/run"
+	"resilientloc/internal/engine/spec"
+)
+
+// autoSpec wraps a grid scenario in auto-trials mode: no fixed count, a CI
+// target on avg_error_m. The grid is 5×6 — large enough that some trials
+// localize, so the stopping metric has real trial-to-trial variance (the
+// grid's headline "pairs" metric is a constant, whose CI is zero-width).
+func autoSpec(seed int64, target float64, maxTrials int) spec.JobSpec {
+	sp := gridSpec(seed, 0)
+	sp.Params = params.Map{"rows": params.Num(5), "cols": params.Num(6)}
+	sp.AutoTrials = &spec.AutoTrials{CITarget: target, Metric: "avg_error_m", MaxTrials: maxTrials}
+	return sp
+}
+
+// TestAutoTrialsStopsWhenTargetMet: a generous CI target is satisfied by the
+// scenario's default trial count, so the sequence is a single round.
+func TestAutoTrialsStopsWhenTargetMet(t *testing.T) {
+	s := newSession(t, run.Options{CacheDir: filepath.Join(t.TempDir(), "cache")})
+	res, info, err := run.ExecuteSpec(s, autoSpec(1, 1e9, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report == nil {
+		t.Fatal("auto run returned no report")
+	}
+	// multilat-grid's default count is its scenario default; the single
+	// round must not have doubled past it.
+	if res.Report.Trials != info.Trials || s.TrialsExecuted() != info.Trials {
+		t.Errorf("single round: report %d, info %d, executed %d — want all equal",
+			res.Report.Trials, info.Trials, s.TrialsExecuted())
+	}
+}
+
+// TestAutoTrialsDoublesIncrementally is the auto-mode acceptance check: an
+// unreachable target with a 64-trial cap runs the doubling ladder 8 → 16 →
+// 32 → 64, each round a prefix extension of the last, so the whole sequence
+// executes exactly 64 trials — not 8+16+32+64 — warns about the missed
+// target, and its final bytes equal an explicit 64-trial run's.
+func TestAutoTrialsDoublesIncrementally(t *testing.T) {
+	var warnings bytes.Buffer
+	s := newSession(t, run.Options{
+		CacheDir: filepath.Join(t.TempDir(), "cache"),
+		Warnings: &warnings,
+	})
+	res, info, err := run.ExecuteSpec(s, autoSpec(2, 1e-12, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Trials != 64 || res.Report.Trials != 64 {
+		t.Fatalf("capped sequence ended at %d trials (report %d), want 64", info.Trials, res.Report.Trials)
+	}
+	if got := s.TrialsExecuted(); got != 64 {
+		t.Errorf("doubling sequence executed %d trials, want exactly 64 (each round reuses the last)", got)
+	}
+	if !strings.Contains(warnings.String(), "above target") {
+		t.Errorf("missed-target warning not printed; warnings: %q", warnings.String())
+	}
+
+	cold := newSession(t, run.Options{NoCache: true})
+	fixed := autoSpec(2, 0, 0)
+	fixed.AutoTrials = nil
+	fixed.Trials = 64
+	want, _, err := run.ExecuteSpec(cold, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ClearExecutionMeta()
+	want.ClearExecutionMeta()
+	if !jsonEqual(t, res.Report, want.Report) {
+		t.Error("auto-trials final report diverged from the explicit fixed-count run")
+	}
+}
+
+// TestAutoTrialsResumesAcrossSessions: the rounds are ordinary cacheable
+// jobs, so a second auto invocation over the same cache replays the ladder
+// from cache without recomputing anything.
+func TestAutoTrialsResumesAcrossSessions(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	first := newSession(t, run.Options{CacheDir: dir})
+	if _, _, err := run.ExecuteSpec(first, autoSpec(3, 1e-12, 32)); err != nil {
+		t.Fatal(err)
+	}
+
+	second := newSession(t, run.Options{CacheDir: dir})
+	_, info, err := run.ExecuteSpec(second, autoSpec(3, 1e-12, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := second.TrialsExecuted(); got != 0 {
+		t.Errorf("repeat auto run executed %d trials, want 0 (all rounds cached)", got)
+	}
+	if !info.Cached {
+		t.Errorf("repeat auto run's final round not reported cached: %+v", info)
+	}
+}
+
+// TestAutoTrialsValidation: malformed auto specs fail up front, and a
+// stopping metric the report does not carry fails on round one instead of
+// silently running to the cap.
+func TestAutoTrialsValidation(t *testing.T) {
+	s := newSession(t, run.Options{NoCache: true})
+
+	bad := autoSpec(1, 0, 0) // non-positive target
+	if _, _, err := run.ExecuteSpec(s, bad); err == nil {
+		t.Error("zero CI target accepted")
+	}
+
+	fixed := autoSpec(1, 0.5, 0)
+	fixed.Trials = 100 // auto and fixed counts are mutually exclusive
+	if _, _, err := run.ExecuteSpec(s, fixed); err == nil {
+		t.Error("auto spec with a fixed trial count accepted")
+	}
+
+	typo := autoSpec(1, 1e9, 0)
+	typo.AutoTrials.Metric = "no-such-metric"
+	if _, _, err := run.ExecuteSpec(s, typo); err == nil ||
+		!strings.Contains(err.Error(), "no metric") {
+		t.Errorf("unknown stopping metric: err %v, want round-one failure", err)
+	}
+}

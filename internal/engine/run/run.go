@@ -93,6 +93,11 @@ type Options struct {
 	// CacheGC controls the opportunistic cache sweep NewSession runs:
 	// "" or "on" enables it, "off" disables it.
 	CacheGC string
+	// NoReuse disables the prefix-reuse planner: cacheable full runs compute
+	// from scratch instead of extending surviving range-keyed entries. The
+	// result bytes are identical either way (that is the planner's contract);
+	// the switch exists for A/B timing and for forcing a truly cold run.
+	NoReuse bool
 	// Progress, when non-nil, receives streaming trials-completed updates
 	// for each campaign as its shards finish: an in-place status block on a
 	// terminal, newline-delimited milestone lines elsewhere.
@@ -124,6 +129,8 @@ func (o *Options) RegisterCommon(fs *flag.FlagSet) {
 	fs.StringVar(&o.CacheDir, "cache", "", "result cache directory (default: the per-user cache dir)")
 	fs.BoolVar(&o.NoCache, "no-cache", false, "disable the on-disk result cache")
 	fs.StringVar(&o.CacheGC, "cache-gc", "on", "opportunistic cache garbage collection (on|off)")
+	fs.BoolVar(&o.NoReuse, "no-reuse", false,
+		"disable the prefix-reuse planner (always compute full runs from scratch)")
 	fs.DurationVar(&o.ProgressRefresh, "progress-refresh", 0,
 		"minimum interval between terminal status-block repaints (0 = repaint on every update)")
 }
@@ -409,10 +416,18 @@ func (s *Session) RangeEntries(sp spec.JobSpec) (RangeProbe, error) {
 // Info describes how one job execution was satisfied.
 type Info struct {
 	// Cached reports that the result came from the cache with no trial
-	// computation.
+	// computation — a full-key hit, or a plan whose cached ranges covered
+	// the whole trial space.
 	Cached bool
 	// Trials is the effective trial count of the (possibly skipped) run.
 	Trials int
+	// ReusedTrials counts trials the prefix-reuse planner satisfied from
+	// cached range entries instead of recomputing. Zero for full-key cache
+	// hits (nothing was planned) and for cold runs. Distinct from the
+	// coordinator's resumed-trial counter: resume replays this job's own
+	// interrupted ranges, reuse extends a different (typically smaller)
+	// run's surviving ranges.
+	ReusedTrials int
 	// Elapsed is the wall time of this execution, including cache lookup.
 	Elapsed time.Duration
 	// CacheKey is the content address the result is (or would be) cached
@@ -469,6 +484,15 @@ func ExecuteSpec(s *Session, sp spec.JobSpec) (*spec.Value, Info, error) {
 // run.job span — and the engine spans beneath it — land in the context's
 // tracer, if any. The context never cancels execution.
 func ExecuteSpecContext(ctx context.Context, s *Session, sp spec.JobSpec) (*spec.Value, Info, error) {
+	if sp.AutoTrials != nil {
+		// An auto spec is a driving recipe, not one job: peel the rule off
+		// and run the CI-driven round sequence (spec.Resolve rejects auto
+		// specs precisely so no other path treats them as a single job).
+		if err := sp.Validate(); err != nil {
+			return nil, Info{}, err
+		}
+		return executeAuto(ctx, s, sp)
+	}
 	job, err := spec.Resolve(sp)
 	if err != nil {
 		return nil, Info{}, err
@@ -578,6 +602,18 @@ func executeResolved(ctx context.Context, s *Session, job spec.Resolved) (*spec.
 			}
 			res.SetExecutionMeta(0, time.Since(start).Seconds())
 			return &res, Info{Cached: true, Trials: runTrials, Elapsed: time.Since(start), CacheKey: keyHash}, nil
+		}
+		if rng == nil && !c.KeepTrialValues && !s.opts.NoReuse {
+			// Full-key miss on an unretained full run: hand the job to the
+			// prefix-reuse planner, which extends surviving range entries and
+			// computes only the gaps (all of [0, trials) when nothing
+			// survives — the cold run then banks its own range entry for the
+			// next extension). Campaigns with effective retention (figure
+			// pins) stay on the classic path: their range entries key
+			// Retained=true and drag per-trial values through every plan, a
+			// cost/benefit that only makes sense for the coordinator's
+			// distributed splits.
+			return s.executePlanned(ctx, jobSpan, job, key, keyHash, trials, shardSize, start)
 		}
 	}
 	var res *spec.Value

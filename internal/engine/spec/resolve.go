@@ -116,6 +116,16 @@ func Resolve(s JobSpec) (Resolved, error) {
 	if err := s.Validate(); err != nil {
 		return Resolved{}, err
 	}
+	if s.AutoTrials != nil {
+		// An auto spec is a driving recipe for a *sequence* of fixed-count
+		// jobs, not one resolvable execution: the runner's auto loop
+		// (run.ExecuteSpecContext, coord.ExecuteAuto) peels the rule off and
+		// resolves each round's explicit-N spec instead. Rejecting here
+		// keeps every direct consumer of Resolve — locd submissions, suite
+		// batches, the coordinator's sub-jobs — from silently treating the
+		// recipe as a single job.
+		return Resolved{}, fmt.Errorf("spec: %s: auto_trials specs drive a round sequence; execute via the session runner or coordinator auto mode, not as one resolved job", s.ID)
+	}
 	var campaign engine.Campaign[*Value]
 	var resolvedParams params.Map
 	switch s.Kind {

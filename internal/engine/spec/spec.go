@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"resilientloc/internal/engine/params"
@@ -81,6 +82,61 @@ type JobSpec struct {
 	// operating point is part of the spec's content address; nil and empty
 	// are both omitted, keeping every pre-params spec's hash unchanged.
 	Params params.Map `json:"params,omitempty"`
+	// AutoTrials switches a scenario job to confidence-interval-driven
+	// stopping instead of a fixed trial count; see AutoTrials. An auto spec
+	// is a driver recipe, not a single execution: it never resolves or
+	// hashes as one job. The executor (run.ExecuteSpecContext locally,
+	// coord.ExecuteAuto distributed) runs a sequence of fixed-N rounds —
+	// each an ordinary spec whose hash and cache key are exactly those of
+	// an explicit "trials": N submission, so rounds share cache entries
+	// with explicit runs and the prefix-reuse planner turns each round into
+	// an increment over the last. Mutually exclusive with Trials,
+	// TrialRange, and KeepTrialValues; omitted for fixed-count specs,
+	// keeping every earlier spec's hash unchanged.
+	AutoTrials *AutoTrials `json:"auto_trials,omitempty"`
+}
+
+// AutoTrials is the CI-driven stopping rule of an auto-trials spec: keep
+// doubling the trial count (persisting every round through the result
+// cache, so later runs extend rather than restart) until the 95%
+// confidence-interval half-width of the job's headline metric falls below
+// CITarget.
+type AutoTrials struct {
+	// CITarget is the target 95% CI half-width on the stopping metric, in
+	// the metric's own units. Must be positive.
+	CITarget float64 `json:"ci_target"`
+	// Metric names the stopping metric; empty selects the report's headline
+	// (first-recorded) metric.
+	Metric string `json:"metric,omitempty"`
+	// MaxTrials caps the growth; 0 means DefaultAutoMaxTrials. The run also
+	// stops early when the scenario's own trial ceiling (engine
+	// MaxTrials clamping) makes further requests ineffective.
+	MaxTrials int `json:"max_trials,omitempty"`
+}
+
+// DefaultAutoMaxTrials bounds auto-trials growth when the spec does not cap
+// it: a stopping rule that cannot be met must terminate, not run forever.
+const DefaultAutoMaxTrials = 1 << 20
+
+// Cap returns the effective trial ceiling of the stopping rule.
+func (a *AutoTrials) Cap() int {
+	if a.MaxTrials > 0 {
+		return a.MaxTrials
+	}
+	return DefaultAutoMaxTrials
+}
+
+// NextTrials returns the trial count of the round after one that ran
+// effective trials: doubled, clamped to Cap.
+func (a *AutoTrials) NextTrials(effective int) int {
+	next := effective * 2
+	if next < 1 {
+		next = 1
+	}
+	if c := a.Cap(); next > c {
+		next = c
+	}
+	return next
 }
 
 // Validate checks the spec's self-contained invariants (registry lookups
@@ -119,6 +175,27 @@ func (s JobSpec) Validate() error {
 	if r := s.TrialRange; r != nil {
 		if r.Lo < 0 || r.Hi <= r.Lo {
 			return fmt.Errorf("spec: %s: invalid trial range [%d, %d)", s.ID, r.Lo, r.Hi)
+		}
+	}
+	if a := s.AutoTrials; a != nil {
+		// Auto mode owns the trial count round by round, so every other way
+		// of pinning or slicing the trial space conflicts with it — and
+		// retention jobs bypass the cache the rounds accumulate through.
+		switch {
+		case s.Kind != KindScenario:
+			return fmt.Errorf("spec: %s: auto_trials applies to scenario jobs only", s.ID)
+		case s.Trials != 0:
+			return fmt.Errorf("spec: %s: auto_trials and \"trials\" conflict; drop one", s.ID)
+		case s.TrialRange != nil:
+			return fmt.Errorf("spec: %s: auto_trials and \"trial_range\" conflict; drop one", s.ID)
+		case s.KeepTrialValues:
+			return fmt.Errorf("spec: %s: auto_trials needs the result cache, which keep_trial_values bypasses; drop one", s.ID)
+		case !(a.CITarget > 0) || math.IsInf(a.CITarget, 0):
+			// The negated comparison also rejects NaN, and non-finite targets
+			// would break the spec's canonical JSON encoding.
+			return fmt.Errorf("spec: %s: auto_trials.ci_target must be a positive finite number, got %v", s.ID, a.CITarget)
+		case a.MaxTrials < 0:
+			return fmt.Errorf("spec: %s: negative auto_trials.max_trials %d", s.ID, a.MaxTrials)
 		}
 	}
 	// Schema checks (names, bounds) happen in Resolve, where the registry

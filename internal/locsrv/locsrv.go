@@ -271,14 +271,17 @@ type jobSummary struct {
 	Spec spec.JobSpec `json:"spec"`
 	// Params is the job's resolved operating point — the spec's params with
 	// the factory's defaults filled in. Absent for param-less jobs.
-	Params         params.Map `json:"params,omitempty"`
-	Status         string     `json:"status"`
-	Trials         int        `json:"trials"`
-	DoneTrials     int        `json:"done_trials"`
-	Cached         bool       `json:"cached,omitempty"`
-	ElapsedSeconds float64    `json:"elapsed_seconds,omitempty"`
-	CacheKey       string     `json:"cache_key,omitempty"`
-	Error          string     `json:"error,omitempty"`
+	Params     params.Map `json:"params,omitempty"`
+	Status     string     `json:"status"`
+	Trials     int        `json:"trials"`
+	DoneTrials int        `json:"done_trials"`
+	Cached     bool       `json:"cached,omitempty"`
+	// ReusedTrials counts trials the prefix-reuse planner satisfied from
+	// cached range entries instead of recomputing (see run.Info).
+	ReusedTrials   int     `json:"reused_trials,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	CacheKey       string  `json:"cache_key,omitempty"`
+	Error          string  `json:"error,omitempty"`
 	// Skipped marks a failure that only reflects a batch sibling's error;
 	// the job is retryable by resubmitting its spec. The machine-readable
 	// field is the contract — the error text is not.
@@ -294,17 +297,18 @@ type jobSummary struct {
 // summaryLocked renders a job; the caller holds s.mu.
 func (j *job) summaryLocked(withResult bool) jobSummary {
 	v := jobSummary{
-		ID:         j.id,
-		Spec:       j.resolved.Spec,
-		Params:     j.resolved.Params,
-		Status:     j.status,
-		Trials:     j.trials,
-		DoneTrials: j.progress,
-		Cached:     j.info.Cached,
-		CacheKey:   j.info.CacheKey,
-		Error:      j.errMsg,
-		Skipped:    j.skipped,
-		URL:        "/v1/jobs/" + j.id,
+		ID:           j.id,
+		Spec:         j.resolved.Spec,
+		Params:       j.resolved.Params,
+		Status:       j.status,
+		Trials:       j.trials,
+		DoneTrials:   j.progress,
+		Cached:       j.info.Cached,
+		ReusedTrials: j.info.ReusedTrials,
+		CacheKey:     j.info.CacheKey,
+		Error:        j.errMsg,
+		Skipped:      j.skipped,
+		URL:          "/v1/jobs/" + j.id,
 	}
 	if j.status != "running" {
 		v.ElapsedSeconds = j.info.Elapsed.Seconds()
@@ -565,7 +569,11 @@ type event struct {
 	Total  int    `json:"total"`
 	Status string `json:"status,omitempty"`
 	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
+	// ReusedTrials mirrors jobSummary.ReusedTrials on terminal lines: how
+	// many of the job's trials the prefix-reuse planner satisfied from
+	// cached range entries.
+	ReusedTrials int    `json:"reused_trials,omitempty"`
+	Error        string `json:"error,omitempty"`
 	// Skipped mirrors jobSummary.Skipped on terminal "failed" lines: the
 	// failure is a batch sibling's, and resubmitting the spec retries it.
 	Skipped bool `json:"skipped,omitempty"`
@@ -628,7 +636,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-j.done:
 			s.mu.Lock()
 			final := event{ID: j.id, Done: j.progress, Total: j.trials,
-				Status: j.status, Cached: j.info.Cached, Error: j.errMsg, Skipped: j.skipped,
+				Status: j.status, Cached: j.info.Cached, ReusedTrials: j.info.ReusedTrials,
+				Error: j.errMsg, Skipped: j.skipped,
 				ElapsedSeconds: j.info.Elapsed.Seconds()}
 			s.mu.Unlock()
 			emit(final)
@@ -765,7 +774,8 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 				case <-j.done:
 					s.mu.Lock()
 					final := event{ID: j.id, Done: j.progress, Total: j.trials,
-						Status: j.status, Cached: j.info.Cached, Error: j.errMsg, Skipped: j.skipped,
+						Status: j.status, Cached: j.info.Cached, ReusedTrials: j.info.ReusedTrials,
+						Error: j.errMsg, Skipped: j.skipped,
 						ElapsedSeconds: j.info.Elapsed.Seconds()}
 					if j.status == "done" {
 						final.Result = j.result
